@@ -1,0 +1,59 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every bench prints a header comment describing the experiment, then CSV
+// rows (one per paper data point) so the figures can be re-plotted directly.
+// Common flags: --records=N (dataset size), --threads=T, --cardinalities=...
+// (see each binary's --help).
+
+#ifndef MEMAGG_BENCH_BENCH_COMMON_H_
+#define MEMAGG_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/cli.h"
+#include "util/cycle_timer.h"
+
+namespace memagg {
+
+/// Timing of one measured region.
+struct BenchTiming {
+  uint64_t cycles = 0;
+  double millis = 0.0;
+};
+
+/// Runs `fn` once and returns its cycle/wall timing.
+inline BenchTiming TimeOnce(const std::function<void()>& fn) {
+  CycleTimer timer;
+  timer.Start();
+  fn();
+  timer.Stop();
+  return {timer.ElapsedCycles(), timer.ElapsedMillis()};
+}
+
+/// Parses --cardinalities=100,1000,... (defaults to the paper's sweep,
+/// capped so the smallest of them stays below the record count).
+inline std::vector<uint64_t> CardinalitySweep(const CliFlags& flags,
+                                              uint64_t records) {
+  std::vector<uint64_t> cardinalities;
+  for (const std::string& text : flags.GetList(
+           "cardinalities",
+           {"100", "1000", "10000", "100000", "1000000", "10000000"})) {
+    const uint64_t c = static_cast<uint64_t>(ParseHumanInt(text));
+    if (c <= records) cardinalities.push_back(c);
+  }
+  return cardinalities;
+}
+
+/// Prints the standard experiment banner.
+inline void PrintBanner(const std::string& experiment,
+                        const std::string& description) {
+  std::printf("# %s\n# %s\n", experiment.c_str(), description.c_str());
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_BENCH_BENCH_COMMON_H_

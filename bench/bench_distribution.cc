@@ -1,0 +1,64 @@
+// Figure 7: impact of the key distribution on Q1, at low (10^3) and high
+// (10^6) group-by cardinality, fixed dataset size.
+//
+// Paper scale: 100M records. Container default: 4M.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 4000000));
+  std::vector<uint64_t> cardinalities;
+  for (const std::string& text :
+       flags.GetList("cardinalities", {"1000", "1000000"})) {
+    cardinalities.push_back(static_cast<uint64_t>(ParseHumanInt(text)));
+  }
+  const auto labels = flags.GetList("algorithms", SerialLabels());
+
+  PrintBanner("Figure 7: Vector Q1 - Variable Key Distributions - " +
+                  std::to_string(records) + " records",
+              "query execution cycles per distribution, low vs high "
+              "cardinality");
+  std::printf("cardinality,dataset,algorithm,total_cycles,total_ms\n");
+
+  for (uint64_t cardinality : cardinalities) {
+    if (cardinality > records) continue;
+    for (Distribution distribution : kAllDistributions) {
+      DatasetSpec spec{distribution, records, cardinality, 84};
+      if (!IsValidSpec(spec)) continue;
+      const auto keys = GenerateKeys(spec);
+      for (const std::string& label : labels) {
+        auto aggregator =
+            MakeVectorAggregator(label, AggregateFunction::kCount, records);
+        const BenchTiming build = TimeOnce(
+            [&] { aggregator->Build(keys.data(), nullptr, keys.size()); });
+        VectorResult result;
+        const BenchTiming iterate =
+            TimeOnce([&] { result = aggregator->Iterate(); });
+        std::printf("%llu,%s,%s,%llu,%.1f\n",
+                    static_cast<unsigned long long>(cardinality),
+                    DistributionName(distribution).c_str(), label.c_str(),
+                    static_cast<unsigned long long>(build.cycles +
+                                                    iterate.cycles),
+                    build.millis + iterate.millis);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

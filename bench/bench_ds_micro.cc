@@ -1,0 +1,59 @@
+// Figure 3: data-structure microbenchmark.
+//
+// A store-and-lookup workload over every data structure (including Ttree,
+// which this experiment eliminates from the rest of the paper): the build
+// phase inserts key -> value for --records random keys, the iterate phase
+// reads back every stored item. Output: one row per structure with build and
+// iterate cycle counts, matching the Figure 3 stacked bars.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 10000000));
+  // Random keys over a wide range, like the paper's store/lookup workload.
+  const auto keys = GenerateMicroKeys(MicroDistribution::kRandom1To1M, records);
+
+  // All Table 3 structures plus Ttree. Sort algorithms "build" by sorting
+  // and "iterate" by scanning, per Section 3.
+  std::vector<std::string> labels = SerialLabels();
+  labels.push_back("Ttree");
+
+  PrintBanner("Figure 3: Data Structure Microbenchmark",
+              "build vs iterate, " + std::to_string(records) +
+                  " random keys (1-1M); hash tables sized to the input");
+  std::printf("structure,build_cycles,iterate_cycles,build_ms,iterate_ms\n");
+
+  for (const std::string& label : labels) {
+    auto aggregator =
+        MakeVectorAggregator(label, AggregateFunction::kCount, records);
+    const BenchTiming build = TimeOnce(
+        [&] { aggregator->Build(keys.data(), nullptr, keys.size()); });
+    size_t rows = 0;
+    const BenchTiming iterate =
+        TimeOnce([&] { rows = aggregator->Iterate().size(); });
+    std::printf("%s,%llu,%llu,%.1f,%.1f\n", label.c_str(),
+                static_cast<unsigned long long>(build.cycles),
+                static_cast<unsigned long long>(iterate.cycles), build.millis,
+                iterate.millis);
+    std::fflush(stdout);
+    if (rows == 0) std::fprintf(stderr, "warning: empty result for %s\n",
+                                label.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

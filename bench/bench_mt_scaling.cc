@@ -1,0 +1,81 @@
+// Figure 11: multithreaded scaling of Q1 and Q3 on Rseq at 10^3 and 10^6
+// groups, threads swept 1..--max_threads, over the Table 8 concurrent
+// algorithms (Hash_TBBSC, Hash_LC, Sort_QSLB, Sort_BI).
+//
+// Paper scale: 100M records on 4C/8T. Container default: 4M; on a
+// single-core container the curves show threading overhead, not speedup.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 4000000));
+  const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
+  std::vector<uint64_t> cardinalities;
+  for (const std::string& text :
+       flags.GetList("cardinalities", {"1000", "1000000"})) {
+    cardinalities.push_back(static_cast<uint64_t>(ParseHumanInt(text)));
+  }
+  // Table 8 shared-structure operators plus the independent-tables extension
+  // (Hash_PLocal; Cieslewicz & Ross-style thread-local aggregation).
+  std::vector<std::string> default_labels = ConcurrentLabels();
+  default_labels.push_back("Hash_PLocal");
+  default_labels.push_back("Hash_Striped");
+  default_labels.push_back("Hash_PRadix");
+  const auto labels = flags.GetList("algorithms", default_labels);
+  const auto values = GenerateValues(records, 1000000, 87);
+
+  PrintBanner("Figure 11: Multithreaded Scaling - Rseq " +
+                  std::to_string(records) + " records",
+              "query execution cycles vs thread count, Q1 and Q3");
+  std::printf("query,cardinality,algorithm,threads,total_cycles,total_ms\n");
+
+  for (const char* query : {"Q1", "Q3"}) {
+    const bool holistic = std::string(query) == "Q3";
+    for (uint64_t cardinality : cardinalities) {
+      if (cardinality > records) continue;
+      DatasetSpec spec{Distribution::kRseq, records, cardinality, 88};
+      if (!IsValidSpec(spec)) continue;
+      const auto keys = GenerateKeys(spec);
+      for (const std::string& label : labels) {
+        for (int threads = 1; threads <= max_threads; ++threads) {
+          auto aggregator = MakeVectorAggregator(
+              label,
+              holistic ? AggregateFunction::kMedian
+                       : AggregateFunction::kCount,
+              records, threads);
+          const BenchTiming build = TimeOnce([&] {
+            aggregator->Build(keys.data(),
+                              holistic ? values.data() : nullptr, keys.size());
+          });
+          VectorResult result;
+          const BenchTiming iterate =
+              TimeOnce([&] { result = aggregator->Iterate(); });
+          std::printf("%s,%llu,%s,%d,%llu,%.1f\n", query,
+                      static_cast<unsigned long long>(cardinality),
+                      label.c_str(), threads,
+                      static_cast<unsigned long long>(build.cycles +
+                                                      iterate.cycles),
+                      build.millis + iterate.millis);
+          std::fflush(stdout);
+        }
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

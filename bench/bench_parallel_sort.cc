@@ -1,0 +1,92 @@
+// Figure 10: parallel sort algorithm microbenchmark.
+//
+// Sorts --records random keys (1-1M) with Sort_BI, Sort_SS, Sort_TBB and
+// Sort_QSLB at 1..--max_threads threads, plus the two fastest
+// single-threaded sorts (Introsort, Spreadsort) as flat baselines.
+//
+// NOTE: on a single-core container the curves show threading overhead, not
+// speedup; run on a multicore host for the paper's scaling shape.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sorters.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+struct NamedParallelSort {
+  std::string name;
+  std::function<void(uint64_t*, uint64_t*, int)> fn;
+};
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 10000000));
+  const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
+  const auto input =
+      GenerateMicroKeys(MicroDistribution::kRandom1To1M, records);
+
+  const std::vector<NamedParallelSort> parallel_sorts = {
+      {"Sort_BI",
+       [](uint64_t* f, uint64_t* l, int t) {
+         BlockIndirectSorter{t}(f, l, IdentityKey{});
+       }},
+      {"Sort_SS",
+       [](uint64_t* f, uint64_t* l, int t) {
+         SamplesortSorter{t}(f, l, IdentityKey{});
+       }},
+      {"Sort_TBB",
+       [](uint64_t* f, uint64_t* l, int t) {
+         TaskQuicksortSorter{t}(f, l, IdentityKey{});
+       }},
+      {"Sort_QSLB",
+       [](uint64_t* f, uint64_t* l, int t) {
+         ParallelQuicksortSorter{t}(f, l, IdentityKey{});
+       }},
+  };
+
+  PrintBanner("Figure 10: Parallel Sort Algorithm Microbenchmark",
+              std::to_string(records) + " random keys (1-1M); Introsort and "
+              "Spreadsort shown as single-threaded baselines");
+  std::printf("algorithm,threads,time_ms\n");
+
+  // Single-threaded baselines (flat lines in the figure).
+  for (int threads = 1; threads <= max_threads; ++threads) {
+    std::vector<uint64_t> keys = input;
+    const BenchTiming intro = TimeOnce([&] {
+      IntrosortSorter{}(keys.data(), keys.data() + keys.size(), IdentityKey{});
+    });
+    std::printf("Introsort,%d,%.1f\n", threads, intro.millis);
+    keys = input;
+    const BenchTiming spread = TimeOnce([&] {
+      SpreadsortSorter{}(keys.data(), keys.data() + keys.size(),
+                         IdentityKey{});
+    });
+    std::printf("Spreadsort,%d,%.1f\n", threads, spread.millis);
+    std::fflush(stdout);
+    // The baselines do not depend on the thread count; measure them once.
+    if (threads == 1) break;
+  }
+
+  for (const NamedParallelSort& sort : parallel_sorts) {
+    for (int threads = 1; threads <= max_threads; ++threads) {
+      std::vector<uint64_t> keys = input;
+      const BenchTiming timing = TimeOnce(
+          [&] { sort.fn(keys.data(), keys.data() + keys.size(), threads); });
+      std::printf("%s,%d,%.1f\n", sort.name.c_str(), threads, timing.millis);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

@@ -1,0 +1,70 @@
+// Figure 8: range-search aggregation Q7 over the tree structures.
+//
+// Measures (a) the time to range-scan a prebuilt tree for ranges covering
+// 25% / 50% / 75% of the group-by cardinality (Figures 8a/8b) and (b) the
+// time to build the tree at low and high cardinality (Figure 8c).
+//
+// Paper scale: 100M records. Container default: 4M.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 4000000));
+  std::vector<uint64_t> cardinalities;
+  for (const std::string& text :
+       flags.GetList("cardinalities", {"1000", "1000000"})) {
+    cardinalities.push_back(static_cast<uint64_t>(ParseHumanInt(text)));
+  }
+  const auto labels = flags.GetList("algorithms", TreeLabels());
+
+  PrintBanner("Figure 8: Range Search Aggregation Q7 - " +
+                  std::to_string(records) + " records",
+              "build time per tree, then prebuilt range scans at 25/50/75% "
+              "of the cardinality (smaller ranges first, as in the paper)");
+  std::printf(
+      "cardinality,algorithm,build_cycles,range_pct,range_cycles,groups\n");
+
+  for (uint64_t cardinality : cardinalities) {
+    if (cardinality > records) continue;
+    DatasetSpec spec{Distribution::kRseqShuffled, records, cardinality, 85};
+    if (!IsValidSpec(spec)) continue;
+    const auto keys = GenerateKeys(spec);
+    for (const std::string& label : labels) {
+      auto aggregator =
+          MakeVectorAggregator(label, AggregateFunction::kCount, records);
+      const BenchTiming build = TimeOnce(
+          [&] { aggregator->Build(keys.data(), nullptr, keys.size()); });
+      for (int pct : {25, 50, 75}) {
+        const uint64_t hi = cardinality * pct / 100;
+        VectorResult result;
+        const BenchTiming scan =
+            TimeOnce([&] { result = aggregator->IterateRange(0, hi); });
+        std::printf("%llu,%s,%llu,%d,%llu,%zu\n",
+                    static_cast<unsigned long long>(cardinality),
+                    label.c_str(),
+                    static_cast<unsigned long long>(build.cycles), pct,
+                    static_cast<unsigned long long>(scan.cycles),
+                    result.size());
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

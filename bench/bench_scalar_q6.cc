@@ -1,0 +1,58 @@
+// Figure 9: scalar aggregation Q6 (MEDIAN of the key column) over the
+// tree-based and sort-based operators, all six Table 4 distributions,
+// cardinality swept 10^2..10^7.
+//
+// Paper scale: 100M records. Container default: 4M.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/engine.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 4000000));
+  const auto cardinalities = CardinalitySweep(flags, records);
+  const auto labels = flags.GetList("algorithms", ScalarCapableLabels());
+
+  PrintBanner("Figure 9: Scalar Aggregation Q6 (MEDIAN) - " +
+                  std::to_string(records) + " records",
+              "query execution cycles vs group-by cardinality");
+  std::printf("dataset,cardinality,algorithm,total_cycles,median\n");
+
+  for (Distribution distribution : kAllDistributions) {
+    for (uint64_t cardinality : cardinalities) {
+      if (cardinality > records) continue;
+      DatasetSpec spec{distribution, records, cardinality, 86};
+      if (!IsValidSpec(spec)) continue;
+      const auto keys = GenerateKeys(spec);
+      for (const std::string& label : labels) {
+        auto aggregator = MakeScalarMedianAggregator(label);
+        double median = 0.0;
+        const BenchTiming timing = TimeOnce([&] {
+          aggregator->Build(keys.data(), nullptr, keys.size());
+          median = aggregator->Finalize();
+        });
+        std::printf("%s,%llu,%s,%llu,%.1f\n",
+                    DistributionName(distribution).c_str(),
+                    static_cast<unsigned long long>(cardinality),
+                    label.c_str(),
+                    static_cast<unsigned long long>(timing.cycles), median);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

@@ -1,0 +1,68 @@
+// Figure 2: sorting-algorithm microbenchmark.
+//
+// Times five sort algorithms (MSB Radix, LSB Radix, Introsort, Spreadsort,
+// Quicksort) sorting --records keys (paper: 10M) drawn from the five Section
+// 3.1.5 distributions. Output: one row per (distribution, algorithm) with
+// the time in milliseconds, matching the Figure 2 bars.
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/sorters.h"
+#include "data/dataset.h"
+
+namespace memagg {
+namespace {
+
+struct NamedSort {
+  std::string name;
+  std::function<void(uint64_t*, uint64_t*)> fn;
+};
+
+int Run(int argc, char** argv) {
+  CliFlags flags(argc, argv);
+  const uint64_t records =
+      static_cast<uint64_t>(flags.GetInt("records", 10000000));
+
+  const std::vector<NamedSort> sorts = {
+      {"MSB Radix Sort",
+       [](uint64_t* f, uint64_t* l) { MsbRadixSorter{}(f, l, IdentityKey{}); }},
+      {"LSB Radix Sort",
+       [](uint64_t* f, uint64_t* l) { LsbRadixSorter{}(f, l, IdentityKey{}); }},
+      {"Introsort",
+       [](uint64_t* f, uint64_t* l) { IntrosortSorter{}(f, l, IdentityKey{}); }},
+      {"Spreadsort",
+       [](uint64_t* f, uint64_t* l) {
+         SpreadsortSorter{}(f, l, IdentityKey{});
+       }},
+      {"Quicksort",
+       [](uint64_t* f, uint64_t* l) { QuicksortSorter{}(f, l, IdentityKey{}); }},
+  };
+
+  PrintBanner("Figure 2: Sort Algorithm Microbenchmark",
+              "time to sort " + std::to_string(records) +
+                  " keys per distribution");
+  std::printf("distribution,algorithm,time_ms,cycles\n");
+
+  for (MicroDistribution d : kAllMicroDistributions) {
+    const auto input = GenerateMicroKeys(d, records);
+    for (const NamedSort& sort : sorts) {
+      std::vector<uint64_t> keys = input;  // Fresh copy per run.
+      const BenchTiming timing = TimeOnce(
+          [&] { sort.fn(keys.data(), keys.data() + keys.size()); });
+      std::printf("%s,%s,%.1f,%llu\n", MicroDistributionName(d).c_str(),
+                  sort.name.c_str(), timing.millis,
+                  static_cast<unsigned long long>(timing.cycles));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace memagg
+
+int main(int argc, char** argv) { return memagg::Run(argc, argv); }

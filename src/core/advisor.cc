@@ -1,0 +1,70 @@
+#include "core/advisor.h"
+
+namespace memagg {
+
+std::string RecommendAlgorithm(const WorkloadProfile& profile) {
+  // Figure 12, left branch: scalar output.
+  if (profile.output == OutputFormat::kScalar) {
+    // WORO workload: sort and read the middle once — Spreadsort was the
+    // overall fastest (Section 5.7). A reusable structure favors Judy.
+    return profile.worm ? "Judy" : "Spreadsort";
+  }
+
+  // Right branch: vector output.
+  if (profile.category == FunctionCategory::kHolistic) {
+    // Holistic aggregates: sorting wins (Sections 5.2, 5.8, 6).
+    return profile.num_threads > 1 ? "Sort_BI" : "Spreadsort";
+  }
+
+  // Distributive / algebraic.
+  if (profile.has_range_condition) {
+    // Range search: Btree if the index is prebuilt (leaf links make the
+    // scan cheap); otherwise ART, whose build time dominates (Section 5.6).
+    return profile.prebuilt_index ? "Btree" : "ART";
+  }
+  return profile.num_threads > 1 ? "Hash_TBBSC" : "Hash_LP";
+}
+
+WorkloadProfile ProfileForQuery(const Query& query, bool worm,
+                                bool prebuilt_index, int num_threads) {
+  WorkloadProfile profile;
+  profile.output = query.output;
+  profile.category = query.category();
+  profile.worm = worm;
+  profile.has_range_condition = query.has_range_condition;
+  profile.prebuilt_index = prebuilt_index;
+  profile.num_threads = num_threads;
+  return profile;
+}
+
+std::string ExplainRecommendation(const WorkloadProfile& profile) {
+  std::string explanation = "output=";
+  explanation +=
+      profile.output == OutputFormat::kScalar ? "scalar" : "vector";
+  if (profile.output == OutputFormat::kScalar) {
+    explanation += profile.worm ? " -> WORM workload -> reusable index"
+                                : " -> WORO workload -> one-shot sort";
+  } else {
+    switch (profile.category) {
+      case FunctionCategory::kHolistic:
+        explanation += " -> holistic aggregate -> sort-based";
+        break;
+      case FunctionCategory::kAlgebraic:
+      case FunctionCategory::kDistributive:
+        explanation += " -> distributive/algebraic";
+        if (profile.has_range_condition) {
+          explanation += " -> range search -> tree-based";
+          explanation += profile.prebuilt_index ? " (index prebuilt)"
+                                                : " (index must be built)";
+        } else {
+          explanation += " -> hash-based";
+        }
+        break;
+    }
+  }
+  if (profile.num_threads > 1) explanation += " (multithreaded)";
+  explanation += " => " + RecommendAlgorithm(profile);
+  return explanation;
+}
+
+}  // namespace memagg

@@ -1,0 +1,48 @@
+// The paper's Figure 12 decision flow chart as an executable planner.
+//
+// Given a workload profile (output format, write-once-read-once vs
+// write-once-read-many, aggregate category, range condition, prebuilt index,
+// thread count) the advisor returns the algorithm label the paper's
+// experiments found fastest for that situation.
+
+#ifndef MEMAGG_CORE_ADVISOR_H_
+#define MEMAGG_CORE_ADVISOR_H_
+
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/query.h"
+
+namespace memagg {
+
+/// Inputs to the Figure 12 decision flow.
+struct WorkloadProfile {
+  /// Vector (GROUP BY) or scalar output.
+  OutputFormat output = OutputFormat::kVector;
+  /// Aggregate category (only consulted for vector queries).
+  FunctionCategory category = FunctionCategory::kDistributive;
+  /// Write-once-read-many: the structure will serve multiple queries.
+  bool worm = false;
+  /// The query carries a range condition on the group key (Q7-style).
+  bool has_range_condition = false;
+  /// A suitable index over the keys already exists.
+  bool prebuilt_index = false;
+  /// Threads available for this query.
+  int num_threads = 1;
+};
+
+/// Returns the recommended algorithm label (as used by MakeVectorAggregator
+/// / MakeScalarMedianAggregator) for `profile`, following Figure 12.
+std::string RecommendAlgorithm(const WorkloadProfile& profile);
+
+/// Convenience: derives a profile from a Table 1 query descriptor.
+WorkloadProfile ProfileForQuery(const Query& query, bool worm = false,
+                                bool prebuilt_index = false,
+                                int num_threads = 1);
+
+/// Human-readable explanation of the decision path taken for `profile`.
+std::string ExplainRecommendation(const WorkloadProfile& profile);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_ADVISOR_H_

@@ -1,0 +1,267 @@
+#include "core/engine.h"
+
+#include "core/hash_aggregator.h"
+#include "core/hybrid_aggregator.h"
+#include "core/local_partition_aggregator.h"
+#include "core/radix_partition_aggregator.h"
+#include "core/parallel_aggregator.h"
+#include "core/scalar.h"
+#include "core/sort_aggregator.h"
+#include "core/sorters.h"
+#include "core/tree_aggregator.h"
+#include "hash/chaining_map.h"
+#include "hash/concurrent_chaining_map.h"
+#include "hash/cuckoo_map.h"
+#include "hash/dense_map.h"
+#include "hash/linear_probing_map.h"
+#include "hash/ordered_mph.h"
+#include "hash/sparse_map.h"
+#include "tree/art.h"
+#include "tree/btree.h"
+#include "tree/judy.h"
+#include "tree/ttree.h"
+#include "util/macros.h"
+
+namespace memagg {
+namespace {
+
+template <typename Aggregate>
+std::unique_ptr<VectorAggregator> MakeForAggregate(const std::string& label,
+                                                   size_t expected_size,
+                                                   int num_threads) {
+  // --- Hash-based (Table 3 / Table 8) ---
+  if (label == "Hash_LP") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<HashVectorAggregator<LinearProbingMap, Aggregate>>(
+        expected_size);
+  }
+  if (label == "Hash_SC") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<HashVectorAggregator<ChainingMap, Aggregate>>(
+        expected_size);
+  }
+  if (label == "Hash_Sparse") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<HashVectorAggregator<SparseMap, Aggregate>>(
+        expected_size);
+  }
+  if (label == "Hash_Dense") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<HashVectorAggregator<DenseMap, Aggregate>>(
+        expected_size);
+  }
+  if (label == "Hash_LC") {
+    if (num_threads == 1) {
+      return std::make_unique<HashVectorAggregator<CuckooMap, Aggregate>>(
+          expected_size);
+    }
+    return std::make_unique<CuckooParallelAggregator<Aggregate>>(expected_size,
+                                                                 num_threads);
+  }
+  if (label == "Hash_TBBSC") {
+    using Concurrent = typename ConcurrentAggregateFor<Aggregate>::type;
+    return std::make_unique<TbbStyleParallelAggregator<Concurrent>>(
+        expected_size, num_threads);
+  }
+
+  // --- Extensions beyond the paper's Table 3 ---
+  if (label == "Hybrid") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<HybridVectorAggregator<Aggregate>>(expected_size);
+  }
+  if (label == "Hash_PLocal") {
+    return std::make_unique<LocalPartitionAggregator<Aggregate>>(expected_size,
+                                                                 num_threads);
+  }
+  if (label == "Hash_Striped") {
+    return std::make_unique<StripedParallelAggregator<Aggregate>>(
+        expected_size, num_threads);
+  }
+  if (label == "Hash_PRadix") {
+    return std::make_unique<RadixPartitionAggregator<Aggregate>>(
+        expected_size, num_threads);
+  }
+  if (label == "Hash_MPH") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<MphVectorAggregator<Aggregate>>(expected_size);
+  }
+
+  // --- Tree-based (Table 3) ---
+  if (label == "ART") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<TreeVectorAggregator<ArtTree, Aggregate>>();
+  }
+  if (label == "Judy") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<TreeVectorAggregator<JudyArray, Aggregate>>();
+  }
+  if (label == "Btree") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<TreeVectorAggregator<BTree, Aggregate>>();
+  }
+  if (label == "Ttree") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<TreeVectorAggregator<TTree, Aggregate>>();
+  }
+
+  // --- Sort-based (Table 3 / Table 8 / microbenchmarks) ---
+  if (label == "Introsort") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<
+        SortVectorAggregator<IntrosortSorter, Aggregate>>();
+  }
+  if (label == "Spreadsort") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<
+        SortVectorAggregator<SpreadsortSorter, Aggregate>>();
+  }
+  if (label == "Quicksort") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<
+        SortVectorAggregator<QuicksortSorter, Aggregate>>();
+  }
+  if (label == "Sort_MSBRadix") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<SortVectorAggregator<MsbRadixSorter, Aggregate>>();
+  }
+  if (label == "Sort_LSBRadix") {
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<SortVectorAggregator<LsbRadixSorter, Aggregate>>();
+  }
+  if (label == "Sort_QSLB") {
+    return std::make_unique<
+        SortVectorAggregator<ParallelQuicksortSorter, Aggregate>>(
+        ParallelQuicksortSorter{num_threads});
+  }
+  if (label == "Sort_BI") {
+    return std::make_unique<
+        SortVectorAggregator<BlockIndirectSorter, Aggregate>>(
+        BlockIndirectSorter{num_threads});
+  }
+  if (label == "Sort_SS") {
+    return std::make_unique<
+        SortVectorAggregator<SamplesortSorter, Aggregate>>(
+        SamplesortSorter{num_threads});
+  }
+  if (label == "Sort_TBB") {
+    return std::make_unique<
+        SortVectorAggregator<TaskQuicksortSorter, Aggregate>>(
+        TaskQuicksortSorter{num_threads});
+  }
+
+  std::fprintf(stderr, "Unknown algorithm label: %s\n", label.c_str());
+  MEMAGG_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace
+
+AlgorithmCategory CategoryOfLabel(const std::string& label) {
+  if (label == "Hybrid") return AlgorithmCategory::kHash;  // Starts hashing.
+  if (label.rfind("Hash", 0) == 0) return AlgorithmCategory::kHash;
+  if (label == "ART" || label == "Judy" || label == "Btree" ||
+      label == "Ttree") {
+    return AlgorithmCategory::kTree;
+  }
+  if (label == "Introsort" || label == "Spreadsort" || label == "Quicksort" ||
+      label.rfind("Sort_", 0) == 0) {
+    return AlgorithmCategory::kSort;
+  }
+  std::fprintf(stderr, "Unknown algorithm label: %s\n", label.c_str());
+  MEMAGG_CHECK(false);
+  return AlgorithmCategory::kHash;
+}
+
+const std::vector<std::string>& SerialLabels() {
+  static const std::vector<std::string>& labels = *new std::vector<std::string>{
+      "ART",         "Judy",       "Btree",   "Hash_SC",   "Hash_LP",
+      "Hash_Sparse", "Hash_Dense", "Hash_LC", "Introsort", "Spreadsort"};
+  return labels;
+}
+
+const std::vector<std::string>& ConcurrentLabels() {
+  static const std::vector<std::string>& labels =
+      *new std::vector<std::string>{"Hash_TBBSC", "Hash_LC", "Sort_BI",
+                                    "Sort_QSLB"};
+  return labels;
+}
+
+const std::vector<std::string>& TreeLabels() {
+  static const std::vector<std::string>& labels =
+      *new std::vector<std::string>{"ART", "Judy", "Btree"};
+  return labels;
+}
+
+const std::vector<std::string>& ScalarCapableLabels() {
+  static const std::vector<std::string>& labels =
+      *new std::vector<std::string>{"ART", "Judy", "Btree", "Introsort",
+                                    "Spreadsort"};
+  return labels;
+}
+
+std::unique_ptr<VectorAggregator> MakeVectorAggregator(
+    const std::string& label, AggregateFunction function, size_t expected_size,
+    int num_threads) {
+  switch (function) {
+    case AggregateFunction::kCount:
+      return MakeForAggregate<CountAggregate>(label, expected_size,
+                                              num_threads);
+    case AggregateFunction::kSum:
+      return MakeForAggregate<SumAggregate>(label, expected_size, num_threads);
+    case AggregateFunction::kMin:
+      return MakeForAggregate<MinAggregate>(label, expected_size, num_threads);
+    case AggregateFunction::kMax:
+      return MakeForAggregate<MaxAggregate>(label, expected_size, num_threads);
+    case AggregateFunction::kAverage:
+      return MakeForAggregate<AverageAggregate>(label, expected_size,
+                                                num_threads);
+    case AggregateFunction::kMedian:
+      return MakeForAggregate<MedianAggregate>(label, expected_size,
+                                               num_threads);
+    case AggregateFunction::kMode:
+      return MakeForAggregate<ModeAggregate>(label, expected_size,
+                                             num_threads);
+  }
+  MEMAGG_CHECK(false);
+  return nullptr;
+}
+
+std::unique_ptr<ScalarAggregator> MakeScalarMedianAggregator(
+    const std::string& label, int num_threads) {
+  if (label == "ART") {
+    return std::make_unique<TreeScalarMedianAggregator<ArtTree>>();
+  }
+  if (label == "Judy") {
+    return std::make_unique<TreeScalarMedianAggregator<JudyArray>>();
+  }
+  if (label == "Btree") {
+    return std::make_unique<TreeScalarMedianAggregator<BTree>>();
+  }
+  if (label == "Ttree") {
+    return std::make_unique<TreeScalarMedianAggregator<TTree>>();
+  }
+  if (label == "Introsort") {
+    return std::make_unique<SortScalarMedianAggregator<IntrosortSorter>>();
+  }
+  if (label == "Spreadsort") {
+    return std::make_unique<SortScalarMedianAggregator<SpreadsortSorter>>();
+  }
+  if (label == "Quicksort") {
+    return std::make_unique<SortScalarMedianAggregator<QuicksortSorter>>();
+  }
+  if (label == "Sort_BI") {
+    return std::make_unique<SortScalarMedianAggregator<BlockIndirectSorter>>(
+        BlockIndirectSorter{num_threads});
+  }
+  if (label == "Sort_QSLB") {
+    return std::make_unique<
+        SortScalarMedianAggregator<ParallelQuicksortSorter>>(
+        ParallelQuicksortSorter{num_threads});
+  }
+  std::fprintf(stderr, "Label unsuitable for scalar median: %s\n",
+               label.c_str());
+  MEMAGG_CHECK(false);
+  return nullptr;
+}
+
+}  // namespace memagg

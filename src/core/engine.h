@@ -1,0 +1,58 @@
+// The memagg engine: a registry mapping the paper's algorithm labels
+// (Table 3 and Table 8) to aggregation operators.
+//
+// Serial labels (Table 3): ART, Judy, Btree, Ttree, Hash_SC, Hash_LP,
+// Hash_Sparse, Hash_Dense, Hash_LC, Introsort, Spreadsort, plus the extra
+// sort algorithms evaluated in the microbenchmarks (Quicksort,
+// Sort_MSBRadix, Sort_LSBRadix).
+//
+// Concurrent labels (Table 8): Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB,
+// plus Sort_SS and Sort_TBB from the parallel sort microbenchmark.
+
+#ifndef MEMAGG_CORE_ENGINE_H_
+#define MEMAGG_CORE_ENGINE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/operator.h"
+
+namespace memagg {
+
+/// Which family a label belongs to (paper Dimension 1).
+enum class AlgorithmCategory { kHash, kTree, kSort };
+
+/// Category of a known label; aborts on unknown labels.
+AlgorithmCategory CategoryOfLabel(const std::string& label);
+
+/// The ten Table 3 labels, in paper order.
+const std::vector<std::string>& SerialLabels();
+
+/// The four Table 8 concurrent labels, in paper order.
+const std::vector<std::string>& ConcurrentLabels();
+
+/// The tree labels (Q7 / range-search capable).
+const std::vector<std::string>& TreeLabels();
+
+/// Labels usable for scalar median (Q6): trees and sorts.
+const std::vector<std::string>& ScalarCapableLabels();
+
+/// Creates a vector-aggregation operator for `label` computing `function`.
+/// `expected_size` pre-sizes hash tables (pass the record count, per the
+/// paper's assumption). `num_threads` > 1 selects the concurrent variant for
+/// concurrent-capable labels (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB,
+/// Sort_SS, Sort_TBB); serial-only labels require num_threads == 1.
+std::unique_ptr<VectorAggregator> MakeVectorAggregator(
+    const std::string& label, AggregateFunction function, size_t expected_size,
+    int num_threads = 1);
+
+/// Creates a scalar-median (Q6) operator for a tree or sort label.
+std::unique_ptr<ScalarAggregator> MakeScalarMedianAggregator(
+    const std::string& label, int num_threads = 1);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_ENGINE_H_

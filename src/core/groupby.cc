@@ -1,0 +1,101 @@
+#include "core/groupby.h"
+
+#include <algorithm>
+
+#include "core/advisor.h"
+#include "core/engine.h"
+#include "core/query.h"
+#include "util/macros.h"
+
+namespace memagg {
+namespace {
+
+std::string ResolveLabel(AggregateFunction function,
+                         const GroupByOptions& options, OutputFormat output) {
+  if (options.algorithm != "auto") return options.algorithm;
+  WorkloadProfile profile;
+  profile.output = output;
+  profile.category = CategoryOf(function);
+  profile.has_range_condition = options.has_range_condition;
+  profile.prebuilt_index = false;
+  profile.num_threads = options.num_threads;
+  return RecommendAlgorithm(profile);
+}
+
+}  // namespace
+
+VectorResult GroupByAggregate(std::span<const uint64_t> keys,
+                              std::span<const uint64_t> values,
+                              AggregateFunction function,
+                              const GroupByOptions& options) {
+  MEMAGG_CHECK(values.empty() || values.size() == keys.size());
+  MEMAGG_CHECK(!NeedsValueColumn(function) || !values.empty() ||
+               keys.empty());
+  const std::string label =
+      ResolveLabel(function, options, OutputFormat::kVector);
+  // Tree recommendations from the range branch are single-threaded.
+  const int threads = CategoryOfLabel(label) == AlgorithmCategory::kTree
+                          ? 1
+                          : options.num_threads;
+  auto aggregator =
+      MakeVectorAggregator(label, function, keys.size(), threads);
+  aggregator->Build(keys.data(), values.empty() ? nullptr : values.data(),
+                    keys.size());
+  if (options.has_range_condition && aggregator->SupportsRange()) {
+    return aggregator->IterateRange(options.range_lo, options.range_hi);
+  }
+  VectorResult result = aggregator->Iterate();
+  if (options.has_range_condition) {
+    // Hash operator with a range condition: post-filter.
+    result.erase(std::remove_if(result.begin(), result.end(),
+                                [&options](const GroupResult& row) {
+                                  return row.key < options.range_lo ||
+                                         row.key > options.range_hi;
+                                }),
+                 result.end());
+  }
+  return result;
+}
+
+double ScalarAggregate(std::span<const uint64_t> column,
+                       AggregateFunction function,
+                       const GroupByOptions& options) {
+  MEMAGG_CHECK(!column.empty());
+  switch (function) {
+    case AggregateFunction::kCount:
+      return static_cast<double>(column.size());
+    case AggregateFunction::kSum: {
+      uint64_t sum = 0;
+      for (uint64_t v : column) sum += v;
+      return static_cast<double>(sum);
+    }
+    case AggregateFunction::kMin:
+      return static_cast<double>(
+          *std::min_element(column.begin(), column.end()));
+    case AggregateFunction::kMax:
+      return static_cast<double>(
+          *std::max_element(column.begin(), column.end()));
+    case AggregateFunction::kAverage: {
+      uint64_t sum = 0;
+      for (uint64_t v : column) sum += v;
+      return static_cast<double>(sum) / static_cast<double>(column.size());
+    }
+    case AggregateFunction::kMedian: {
+      const std::string label =
+          ResolveLabel(function, options, OutputFormat::kScalar);
+      auto aggregator =
+          MakeScalarMedianAggregator(label, options.num_threads);
+      aggregator->Build(column.data(), nullptr, column.size());
+      return aggregator->Finalize();
+    }
+    case AggregateFunction::kMode: {
+      // Scalar mode via one global sort-based group.
+      std::vector<uint64_t> copy(column.begin(), column.end());
+      return ModeAggregate::FinalizeRun(copy.data(), copy.size());
+    }
+  }
+  MEMAGG_CHECK(false);
+  return 0.0;
+}
+
+}  // namespace memagg

@@ -1,0 +1,71 @@
+// Hash-based vector aggregation (paper Section 3.2).
+//
+// Build phase: each key is looked up in the hash table; distributive and
+// algebraic aggregates fold the record into the group's state eagerly
+// ("early aggregation"), while holistic aggregates buffer every value of the
+// group. Iterate phase: walk the table and finalize each group.
+
+#ifndef MEMAGG_CORE_HASH_AGGREGATOR_H_
+#define MEMAGG_CORE_HASH_AGGREGATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/aggregate.h"
+#include "core/operator.h"
+#include "core/result.h"
+
+namespace memagg {
+
+/// Vector aggregation over any memagg hash map. `MapT` is the map template
+/// (LinearProbingMap, ChainingMap, SparseMap, DenseMap, CuckooMap,
+/// ConcurrentChainingMap); `Aggregate` is an aggregate policy from
+/// core/aggregate.h.
+template <template <typename> class MapT, typename Aggregate>
+class HashVectorAggregator final : public VectorAggregator {
+ public:
+  using State = typename Aggregate::State;
+
+  /// `expected_size` pre-sizes the table. The paper assumes only the dataset
+  /// size is known (cardinality estimation is unreliable), so callers pass
+  /// the record count.
+  explicit HashVectorAggregator(size_t expected_size) : map_(expected_size) {}
+
+  void Build(const uint64_t* keys, const uint64_t* values,
+             size_t n) override {
+    if constexpr (Aggregate::kNeedsValues) {
+      for (size_t i = 0; i < n; ++i) {
+        Aggregate::Update(map_.GetOrInsert(keys[i]), values[i]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        Aggregate::Update(map_.GetOrInsert(keys[i]), 0);
+      }
+    }
+  }
+
+  VectorResult Iterate() override {
+    VectorResult result;
+    result.reserve(map_.size());
+    map_.ForEach([&result](uint64_t key, const State& state) {
+      // Holistic finalizers reorder their buffered values in place; the
+      // entries are not actually const.
+      result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
+    });
+    return result;
+  }
+
+  size_t NumGroups() const override { return map_.size(); }
+
+  size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
+
+  /// Direct access for tests.
+  MapT<State>& map() { return map_; }
+
+ private:
+  MapT<State> map_;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_HASH_AGGREGATOR_H_

@@ -1,0 +1,80 @@
+// The aggregation queries of the paper's Table 1.
+//
+//   Q1  SELECT k, COUNT(*)   ... GROUP BY k            distributive, vector
+//   Q2  SELECT k, AVG(v)     ... GROUP BY k            algebraic,   vector
+//   Q3  SELECT k, MEDIAN(v)  ... GROUP BY k            holistic,    vector
+//   Q4  SELECT COUNT(v)      ...                       distributive, scalar
+//   Q5  SELECT AVG(v)        ...                       algebraic,   scalar
+//   Q6  SELECT MEDIAN(k)     ...                       holistic,    scalar
+//   Q7  SELECT k, COUNT(*) WHERE k BETWEEN lo AND hi
+//                            ... GROUP BY k            distributive, vector
+
+#ifndef MEMAGG_CORE_QUERY_H_
+#define MEMAGG_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/aggregate.h"
+
+namespace memagg {
+
+/// Whether the query returns one row per group or a single value.
+enum class OutputFormat { kVector, kScalar };
+
+/// Descriptor for one Table 1 query.
+struct Query {
+  std::string id;
+  AggregateFunction function = AggregateFunction::kCount;
+  OutputFormat output = OutputFormat::kVector;
+  bool has_range_condition = false;
+  uint64_t range_lo = 0;
+  uint64_t range_hi = 0;
+
+  FunctionCategory category() const { return CategoryOf(function); }
+};
+
+/// Q1: vector COUNT(*) GROUP BY key.
+inline Query MakeQ1() {
+  return {"Q1", AggregateFunction::kCount, OutputFormat::kVector, false, 0, 0};
+}
+
+/// Q2: vector AVG(value) GROUP BY key.
+inline Query MakeQ2() {
+  return {"Q2", AggregateFunction::kAverage, OutputFormat::kVector, false, 0,
+          0};
+}
+
+/// Q3: vector MEDIAN(value) GROUP BY key.
+inline Query MakeQ3() {
+  return {"Q3", AggregateFunction::kMedian, OutputFormat::kVector, false, 0,
+          0};
+}
+
+/// Q4: scalar COUNT.
+inline Query MakeQ4() {
+  return {"Q4", AggregateFunction::kCount, OutputFormat::kScalar, false, 0, 0};
+}
+
+/// Q5: scalar AVG(value).
+inline Query MakeQ5() {
+  return {"Q5", AggregateFunction::kAverage, OutputFormat::kScalar, false, 0,
+          0};
+}
+
+/// Q6: scalar MEDIAN(key).
+inline Query MakeQ6() {
+  return {"Q6", AggregateFunction::kMedian, OutputFormat::kScalar, false, 0,
+          0};
+}
+
+/// Q7: vector COUNT(*) with `key BETWEEN lo AND hi` (paper example:
+/// BETWEEN 500 AND 1000).
+inline Query MakeQ7(uint64_t lo = 500, uint64_t hi = 1000) {
+  return {"Q7", AggregateFunction::kCount, OutputFormat::kVector, true, lo,
+          hi};
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_QUERY_H_

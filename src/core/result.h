@@ -1,0 +1,26 @@
+// Result types produced by the aggregation operators.
+
+#ifndef MEMAGG_CORE_RESULT_H_
+#define MEMAGG_CORE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace memagg {
+
+/// One output row of a vector aggregation: a group key and its aggregate.
+struct GroupResult {
+  uint64_t key = 0;
+  double value = 0.0;
+
+  friend bool operator==(const GroupResult& a, const GroupResult& b) {
+    return a.key == b.key && a.value == b.value;
+  }
+};
+
+/// Vector aggregation output: one row per distinct group key.
+using VectorResult = std::vector<GroupResult>;
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_RESULT_H_

@@ -1,0 +1,133 @@
+// Scalar aggregation operators (paper Table 1 Q4-Q6, Section 5.7).
+//
+// Q4 (COUNT) and Q5 (AVG) need no data structure at all — a single streaming
+// pass suffices. Q6 (MEDIAN of the key column) is the interesting one:
+//   * sort-based operators sort a copy of the column and read the middle;
+//   * tree-based operators build key -> count index and walk it in order
+//     until the middle rank — the WORM-friendly option the paper recommends
+//     (Judy) when an index already exists;
+//   * hash tables are unsuitable because the median requires ordered keys
+//     (paper Section 5.7).
+
+#ifndef MEMAGG_CORE_SCALAR_H_
+#define MEMAGG_CORE_SCALAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/operator.h"
+#include "sort/sort_common.h"
+#include "util/macros.h"
+
+namespace memagg {
+
+/// Q4: scalar COUNT — a streaming counter.
+class StreamingCountAggregator final : public ScalarAggregator {
+ public:
+  void Build(const uint64_t* /*keys*/, const uint64_t* /*values*/,
+             size_t n) override {
+    count_ += n;
+  }
+
+  double Finalize() override { return static_cast<double>(count_); }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Q5: scalar AVG(value) — a streaming sum/count pair.
+class StreamingAverageAggregator final : public ScalarAggregator {
+ public:
+  void Build(const uint64_t* /*keys*/, const uint64_t* values,
+             size_t n) override {
+    for (size_t i = 0; i < n; ++i) state_.sum += values[i];
+    state_.count += n;
+  }
+
+  double Finalize() override { return AverageAggregate::Finalize(state_); }
+
+ private:
+  AverageAggregate::State state_;
+};
+
+/// Q6 via sorting: sort a copy of the key column, read the middle.
+template <typename Sorter>
+class SortScalarMedianAggregator final : public ScalarAggregator {
+ public:
+  explicit SortScalarMedianAggregator(Sorter sorter = Sorter{})
+      : sorter_(sorter) {}
+
+  void Build(const uint64_t* keys, const uint64_t* /*values*/,
+             size_t n) override {
+    keys_.assign(keys, keys + n);
+    sorter_(keys_.data(), keys_.data() + keys_.size(), IdentityKey{});
+  }
+
+  double Finalize() override {
+    const size_t n = keys_.size();
+    MEMAGG_CHECK(n > 0);
+    // keys_ is fully sorted; the median is a direct lookup.
+    if (n % 2 == 1) return static_cast<double>(keys_[n / 2]);
+    return (static_cast<double>(keys_[n / 2 - 1]) +
+            static_cast<double>(keys_[n / 2])) /
+           2.0;
+  }
+
+ private:
+  Sorter sorter_;
+  std::vector<uint64_t> keys_;
+};
+
+/// Q6 via a tree index: build key -> multiplicity, then walk the sorted
+/// groups accumulating counts until the middle rank(s).
+template <template <typename> class TreeT>
+class TreeScalarMedianAggregator final : public ScalarAggregator {
+ public:
+  void Build(const uint64_t* keys, const uint64_t* /*values*/,
+             size_t n) override {
+    for (size_t i = 0; i < n; ++i) {
+      ++tree_.GetOrInsert(keys[i]);
+    }
+    total_ += n;
+  }
+
+  double Finalize() override {
+    MEMAGG_CHECK(total_ > 0);
+    // Ranks of the middle element(s), 0-based.
+    const uint64_t rank_hi = total_ / 2;
+    const uint64_t rank_lo = (total_ % 2 == 1) ? rank_hi : rank_hi - 1;
+    uint64_t seen = 0;
+    uint64_t lo_key = 0;
+    uint64_t hi_key = 0;
+    bool lo_found = false;
+    bool hi_found = false;
+    tree_.ForEach([&](uint64_t key, const uint64_t& count) {
+      if (hi_found) return;  // Walk completes; remaining groups are ignored.
+      const uint64_t next_seen = seen + count;
+      if (!lo_found && rank_lo < next_seen) {
+        lo_key = key;
+        lo_found = true;
+      }
+      if (!hi_found && rank_hi < next_seen) {
+        hi_key = key;
+        hi_found = true;
+      }
+      seen = next_seen;
+    });
+    MEMAGG_CHECK(lo_found && hi_found);
+    return (static_cast<double>(lo_key) + static_cast<double>(hi_key)) / 2.0;
+  }
+
+  /// Direct access for tests.
+  TreeT<uint64_t>& tree() { return tree_; }
+
+ private:
+  TreeT<uint64_t> tree_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_SCALAR_H_

@@ -1,0 +1,99 @@
+// Sorter functors bridging the sort substrate to the aggregation operators
+// and benchmarks. Each sorter sorts a range of trivially copyable records by
+// the uint64_t key produced by a KeyOf functor, so the same functor works on
+// plain key arrays (IdentityKey) and on (key, value) records (PairFirstKey).
+
+#ifndef MEMAGG_CORE_SORTERS_H_
+#define MEMAGG_CORE_SORTERS_H_
+
+#include "sort/block_indirect_sort.h"
+#include "sort/introsort.h"
+#include "sort/parallel_quicksort.h"
+#include "sort/quicksort.h"
+#include "sort/radix_sort.h"
+#include "sort/samplesort.h"
+#include "sort/sort_common.h"
+#include "sort/spreadsort.h"
+#include "sort/task_quicksort.h"
+
+namespace memagg {
+
+/// Quicksort (paper: "Quicksort").
+struct QuicksortSorter {
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    QuickSort(first, last, KeyLess<KeyOf>{key_of});
+  }
+};
+
+/// Introsort, the GCC std::sort strategy (paper: "Introsort").
+struct IntrosortSorter {
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    IntroSort(first, last, KeyLess<KeyOf>{key_of});
+  }
+};
+
+/// Most-significant-bit radix sort (paper: "MSB Radix Sort").
+struct MsbRadixSorter {
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    MsbRadixSort(first, last, key_of);
+  }
+};
+
+/// Least-significant-bit radix sort (paper: "LSB Radix Sort").
+struct LsbRadixSorter {
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    LsbRadixSort(first, last, key_of);
+  }
+};
+
+/// Boost-style hybrid radix/comparison sort (paper: "Spreadsort").
+struct SpreadsortSorter {
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    SpreadSort(first, last, key_of);
+  }
+};
+
+/// Parallel quicksort with load balancing (paper: "Sort_QSLB").
+struct ParallelQuicksortSorter {
+  int num_threads = 1;
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    ParallelQuickSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
+  }
+};
+
+/// Parallel sort-then-merge (paper: "Sort_BI").
+struct BlockIndirectSorter {
+  int num_threads = 1;
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    BlockIndirectSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
+  }
+};
+
+/// Parallel samplesort (paper: "Sort_SS").
+struct SamplesortSorter {
+  int num_threads = 1;
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    SampleSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
+  }
+};
+
+/// Task-pool quicksort (paper: "Sort_TBB").
+struct TaskQuicksortSorter {
+  int num_threads = 1;
+  template <typename T, typename KeyOf>
+  void operator()(T* first, T* last, KeyOf key_of) const {
+    TaskQuickSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
+  }
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_SORTERS_H_

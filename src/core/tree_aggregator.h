@@ -1,0 +1,77 @@
+// Tree-based vector aggregation (paper Section 3.3).
+//
+// Identical two-phase structure to the hash operators, with two extras the
+// paper studies: the iterate phase emits groups in sorted key order, and the
+// operator supports native range-filtered iteration (Q7) because radix and
+// comparison trees order their keys.
+
+#ifndef MEMAGG_CORE_TREE_AGGREGATOR_H_
+#define MEMAGG_CORE_TREE_AGGREGATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/aggregate.h"
+#include "core/operator.h"
+#include "core/result.h"
+
+namespace memagg {
+
+/// Vector aggregation over any memagg tree index. `TreeT` is the tree
+/// template (ArtTree, JudyArray, BTree, TTree); `Aggregate` is an aggregate
+/// policy from core/aggregate.h.
+template <template <typename> class TreeT, typename Aggregate>
+class TreeVectorAggregator final : public VectorAggregator {
+ public:
+  using State = typename Aggregate::State;
+
+  /// Trees grow dynamically with the data (paper Section 3.3); no
+  /// pre-sizing is needed or possible.
+  TreeVectorAggregator() = default;
+
+  void Build(const uint64_t* keys, const uint64_t* values,
+             size_t n) override {
+    if constexpr (Aggregate::kNeedsValues) {
+      for (size_t i = 0; i < n; ++i) {
+        Aggregate::Update(tree_.GetOrInsert(keys[i]), values[i]);
+      }
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        Aggregate::Update(tree_.GetOrInsert(keys[i]), 0);
+      }
+    }
+  }
+
+  VectorResult Iterate() override {
+    VectorResult result;
+    result.reserve(tree_.size());
+    tree_.ForEach([&result](uint64_t key, const State& state) {
+      result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
+    });
+    return result;
+  }
+
+  bool SupportsRange() const override { return true; }
+
+  VectorResult IterateRange(uint64_t lo, uint64_t hi) override {
+    VectorResult result;
+    tree_.ForEachInRange(lo, hi, [&result](uint64_t key, const State& state) {
+      result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
+    });
+    return result;
+  }
+
+  size_t NumGroups() const override { return tree_.size(); }
+
+  size_t DataStructureBytes() const override { return tree_.MemoryBytes(); }
+
+  /// Direct access for tests.
+  TreeT<State>& tree() { return tree_; }
+
+ private:
+  TreeT<State> tree_;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_CORE_TREE_AGGREGATOR_H_

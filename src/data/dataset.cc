@@ -1,0 +1,212 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "data/zipf.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+constexpr uint64_t kMovingClusterWindow = 64;
+
+std::vector<uint64_t> GenerateRseq(uint64_t n, uint64_t c) {
+  std::vector<uint64_t> keys(n);
+  uint64_t next = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = next;
+    if (++next == c) next = 0;
+  }
+  return keys;
+}
+
+std::vector<uint64_t> GenerateHhit(uint64_t n, uint64_t c, uint64_t seed) {
+  MEMAGG_CHECK(c <= n / 2 + 1);
+  Rng rng(seed);
+  const uint64_t heavy_key = rng.NextBounded(c);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  // The heavy hitter accounts for 50% of all records and (unshuffled) is
+  // concentrated in the first half of the dataset.
+  const uint64_t heavy_count = n / 2;
+  keys.insert(keys.end(), heavy_count, heavy_key);
+  // Every remaining key appears at least once so the realized cardinality is
+  // deterministic.
+  for (uint64_t k = 0; k < c; ++k) {
+    if (k != heavy_key) keys.push_back(k);
+  }
+  // Fill the rest with uniform random picks from the non-heavy keys.
+  while (keys.size() < n) {
+    uint64_t k = rng.NextBounded(c);
+    if (c > 1 && k == heavy_key) k = (k + 1) % c;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<uint64_t> GenerateZipf(uint64_t n, uint64_t c, uint64_t seed) {
+  Rng rng(seed);
+  ZipfGenerator zipf(c, 0.5);
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = zipf.Next(rng);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateMovingCluster(uint64_t n, uint64_t c,
+                                            uint64_t seed) {
+  MEMAGG_CHECK(c >= kMovingClusterWindow);
+  Rng rng(seed);
+  std::vector<uint64_t> keys(n);
+  const uint64_t span = c - kMovingClusterWindow;
+  for (uint64_t i = 0; i < n; ++i) {
+    // Window base slides from 0 to c - W; key i is uniform in
+    // [base, base + W].
+    const uint64_t base =
+        n == 0 ? 0
+               : static_cast<uint64_t>(
+                     (static_cast<unsigned __int128>(span) * i) / n);
+    keys[i] = base + rng.NextBounded(kMovingClusterWindow + 1);
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::string DistributionName(Distribution distribution) {
+  switch (distribution) {
+    case Distribution::kRseq:
+      return "Rseq";
+    case Distribution::kRseqShuffled:
+      return "Rseq-Shf";
+    case Distribution::kHhit:
+      return "Hhit";
+    case Distribution::kHhitShuffled:
+      return "Hhit-Shf";
+    case Distribution::kZipf:
+      return "Zipf";
+    case Distribution::kMovingCluster:
+      return "MovC";
+  }
+  MEMAGG_CHECK(false);
+  return "";
+}
+
+Distribution DistributionFromName(const std::string& name) {
+  for (Distribution d : kAllDistributions) {
+    if (DistributionName(d) == name) return d;
+  }
+  std::fprintf(stderr, "Unknown distribution: %s\n", name.c_str());
+  MEMAGG_CHECK(false);
+  return Distribution::kRseq;
+}
+
+bool IsValidSpec(const DatasetSpec& spec) {
+  if (spec.cardinality < 1 || spec.cardinality > spec.num_records) {
+    return false;
+  }
+  switch (spec.distribution) {
+    case Distribution::kHhit:
+    case Distribution::kHhitShuffled:
+      return spec.cardinality <= spec.num_records / 2 + 1;
+    case Distribution::kMovingCluster:
+      return spec.cardinality >= 64;
+    default:
+      return true;
+  }
+}
+
+std::vector<uint64_t> GenerateKeys(const DatasetSpec& spec) {
+  MEMAGG_CHECK(IsValidSpec(spec));
+  MEMAGG_CHECK(spec.cardinality >= 1);
+  MEMAGG_CHECK(spec.cardinality <= spec.num_records);
+  std::vector<uint64_t> keys;
+  switch (spec.distribution) {
+    case Distribution::kRseq:
+      return GenerateRseq(spec.num_records, spec.cardinality);
+    case Distribution::kRseqShuffled:
+      keys = GenerateRseq(spec.num_records, spec.cardinality);
+      ShuffleKeys(keys, spec.seed);
+      return keys;
+    case Distribution::kHhit:
+      return GenerateHhit(spec.num_records, spec.cardinality, spec.seed);
+    case Distribution::kHhitShuffled:
+      keys = GenerateHhit(spec.num_records, spec.cardinality, spec.seed);
+      ShuffleKeys(keys, spec.seed + 1);
+      return keys;
+    case Distribution::kZipf:
+      return GenerateZipf(spec.num_records, spec.cardinality, spec.seed);
+    case Distribution::kMovingCluster:
+      return GenerateMovingCluster(spec.num_records, spec.cardinality,
+                                   spec.seed);
+  }
+  MEMAGG_CHECK(false);
+  return keys;
+}
+
+std::vector<uint64_t> GenerateValues(uint64_t num_records, uint64_t value_range,
+                                     uint64_t seed) {
+  MEMAGG_CHECK(value_range >= 1);
+  Rng rng(seed);
+  std::vector<uint64_t> values(num_records);
+  for (auto& v : values) v = rng.NextBounded(value_range);
+  return values;
+}
+
+void ShuffleKeys(std::vector<uint64_t>& keys, uint64_t seed) {
+  Rng rng(seed);
+  for (uint64_t i = keys.size(); i > 1; --i) {
+    const uint64_t j = rng.NextBounded(i);
+    std::swap(keys[i - 1], keys[j]);
+  }
+}
+
+uint64_t CountDistinct(const std::vector<uint64_t>& keys) {
+  std::vector<uint64_t> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  return static_cast<uint64_t>(
+      std::unique(sorted.begin(), sorted.end()) - sorted.begin());
+}
+
+std::string MicroDistributionName(MicroDistribution distribution) {
+  switch (distribution) {
+    case MicroDistribution::kRandom1To5:
+      return "Random(1-5)";
+    case MicroDistribution::kRandom1To1M:
+      return "Random(1-1M)";
+    case MicroDistribution::kRandom1kTo1M:
+      return "Random(1k-1M)";
+    case MicroDistribution::kPresortedSequential:
+      return "Pre-sorted Sequential";
+    case MicroDistribution::kReversedSequential:
+      return "Reversed Sequential";
+  }
+  MEMAGG_CHECK(false);
+  return "";
+}
+
+std::vector<uint64_t> GenerateMicroKeys(MicroDistribution distribution,
+                                        uint64_t num_records, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys(num_records);
+  switch (distribution) {
+    case MicroDistribution::kRandom1To5:
+      for (auto& k : keys) k = rng.NextInRange(1, 5);
+      break;
+    case MicroDistribution::kRandom1To1M:
+      for (auto& k : keys) k = rng.NextInRange(1, 1000000);
+      break;
+    case MicroDistribution::kRandom1kTo1M:
+      for (auto& k : keys) k = rng.NextInRange(1000, 1000000);
+      break;
+    case MicroDistribution::kPresortedSequential:
+      for (uint64_t i = 0; i < num_records; ++i) keys[i] = i;
+      break;
+    case MicroDistribution::kReversedSequential:
+      for (uint64_t i = 0; i < num_records; ++i) keys[i] = num_records - 1 - i;
+      break;
+  }
+  return keys;
+}
+
+}  // namespace memagg

@@ -1,0 +1,115 @@
+// Synthetic dataset generators (paper Section 4, Table 4).
+//
+// Each generator produces a key column of `num_records` 64-bit keys with a
+// target group-by cardinality. Distributions:
+//
+//   Rseq      repeating sequential — keys cycle 0,1,...,c-1,0,1,... so the
+//             key incrementally increases within each segment (deterministic
+//             cardinality; mimics transactional data).
+//   Rseq-Shf  Rseq uniformly shuffled.
+//   Hhit      heavy hitter — one random key accounts for 50% of all records;
+//             every other key appears at least once (deterministic
+//             cardinality); heavy hitters concentrated in the first half.
+//   Hhit-Shf  Hhit uniformly shuffled.
+//   Zipf      Zipfian with exponent e = 0.5 (probabilistic cardinality: the
+//             realized number of distinct keys may drift below the target as
+//             c approaches n).
+//   MovC      moving cluster — key i drawn uniformly from a window of width
+//             W = 64 that slides from 0 to c - W across the dataset.
+//
+// All generators are deterministic given (distribution, n, c, seed).
+
+#ifndef MEMAGG_DATA_DATASET_H_
+#define MEMAGG_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memagg {
+
+/// The six Table 4 distributions.
+enum class Distribution {
+  kRseq,
+  kRseqShuffled,
+  kHhit,
+  kHhitShuffled,
+  kZipf,
+  kMovingCluster,
+};
+
+/// All Table 4 distributions in paper order.
+inline constexpr Distribution kAllDistributions[] = {
+    Distribution::kRseq, Distribution::kRseqShuffled,
+    Distribution::kHhit, Distribution::kHhitShuffled,
+    Distribution::kZipf, Distribution::kMovingCluster,
+};
+
+/// Paper abbreviation ("Rseq", "Rseq-Shf", "Hhit", "Hhit-Shf", "Zipf",
+/// "MovC") for a distribution.
+std::string DistributionName(Distribution distribution);
+
+/// Inverse of DistributionName. Aborts on unknown names.
+Distribution DistributionFromName(const std::string& name);
+
+/// Parameters for one synthetic dataset.
+struct DatasetSpec {
+  Distribution distribution = Distribution::kRseq;
+  uint64_t num_records = 0;
+  /// Target group-by cardinality; must satisfy 1 <= cardinality and, for
+  /// MovC, cardinality >= 64 (the window size).
+  uint64_t cardinality = 1;
+  uint64_t seed = 0x5eed5eed5eed5eedULL;
+};
+
+/// True if `spec` is generatable: 1 <= cardinality <= num_records, plus the
+/// per-distribution constraints (Hhit needs cardinality <= n/2 + 1 so the
+/// heavy hitter can cover half the records; MovC needs cardinality >= its
+/// 64-wide window). Benches use this to skip infeasible sweep points.
+bool IsValidSpec(const DatasetSpec& spec);
+
+/// Generates the key column for `spec`. Aborts if !IsValidSpec(spec).
+std::vector<uint64_t> GenerateKeys(const DatasetSpec& spec);
+
+/// Generates a value column of `num_records` uniform random values in
+/// [0, value_range). Used as the aggregated measure for Q2/Q3/Q5 queries.
+std::vector<uint64_t> GenerateValues(uint64_t num_records,
+                                     uint64_t value_range = 1000000,
+                                     uint64_t seed = 0xa11fa135ULL);
+
+/// Uniformly shuffles `keys` in place with a fixed-seed Fisher-Yates pass.
+void ShuffleKeys(std::vector<uint64_t>& keys, uint64_t seed);
+
+/// Number of distinct keys in `keys` (helper for tests and benches; sorts a
+/// copy, O(n log n)).
+uint64_t CountDistinct(const std::vector<uint64_t>& keys);
+
+// --- Section 3.1.5 sorting-microbenchmark distributions (Figure 2). ---
+
+/// The five micro distributions: random 1-5, random 1-1M, random 1k-1M,
+/// presorted sequential, reverse-sorted sequential.
+enum class MicroDistribution {
+  kRandom1To5,
+  kRandom1To1M,
+  kRandom1kTo1M,
+  kPresortedSequential,
+  kReversedSequential,
+};
+
+inline constexpr MicroDistribution kAllMicroDistributions[] = {
+    MicroDistribution::kRandom1To5,        MicroDistribution::kRandom1To1M,
+    MicroDistribution::kRandom1kTo1M,      MicroDistribution::kPresortedSequential,
+    MicroDistribution::kReversedSequential,
+};
+
+/// Display name matching the Figure 2 x-axis labels.
+std::string MicroDistributionName(MicroDistribution distribution);
+
+/// Generates `num_records` keys from a micro distribution.
+std::vector<uint64_t> GenerateMicroKeys(MicroDistribution distribution,
+                                        uint64_t num_records,
+                                        uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_DATA_DATASET_H_

@@ -1,0 +1,46 @@
+#include "data/zipf.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+// Rejection-inversion after W. Hörmann & G. Derflinger, "Rejection-inversion
+// to generate variates from monotone discrete distributions" (1996). The
+// sampled value k in [1, n] has P(k) ~ 1/k^e; we return k-1.
+
+ZipfGenerator::ZipfGenerator(uint64_t num_items, double exponent)
+    : num_items_(num_items), exponent_(exponent) {
+  MEMAGG_CHECK(num_items >= 1);
+  MEMAGG_CHECK(exponent >= 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_num_items_ = H(static_cast<double>(num_items_) + 0.5);
+  s_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -exponent_));
+}
+
+double ZipfGenerator::H(double x) const {
+  if (exponent_ == 1.0) return std::log(x);
+  return (std::pow(x, 1.0 - exponent_) - 1.0) / (1.0 - exponent_);
+}
+
+double ZipfGenerator::HInverse(double x) const {
+  if (exponent_ == 1.0) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - exponent_), 1.0 / (1.0 - exponent_));
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  if (num_items_ == 1) return 0;
+  while (true) {
+    const double u = h_num_items_ + rng.NextDouble() * (h_x1_ - h_num_items_);
+    const double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(num_items_)) k = static_cast<double>(num_items_);
+    if (k - x <= s_ || u >= H(k + 0.5) - std::pow(k, -exponent_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace memagg

@@ -1,0 +1,43 @@
+// Zipfian key sampler (paper Section 4, "Zipf" dataset).
+//
+// Produces ranks in [0, cardinality) with P(rank k) proportional to
+// 1/(k+1)^e. Uses Hörmann's rejection-inversion method so sampling is O(1)
+// per draw regardless of cardinality (a CDF table for 10^7 ranks would not
+// fit in cache and a linear scan would dominate dataset generation).
+
+#ifndef MEMAGG_DATA_ZIPF_H_
+#define MEMAGG_DATA_ZIPF_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace memagg {
+
+/// Zipf(e) sampler over ranks [0, n).
+class ZipfGenerator {
+ public:
+  /// `num_items` must be >= 1; `exponent` is the Zipf exponent (the paper
+  /// uses e = 0.5).
+  ZipfGenerator(uint64_t num_items, double exponent);
+
+  /// Next Zipf-distributed rank in [0, num_items).
+  uint64_t Next(Rng& rng);
+
+  uint64_t num_items() const { return num_items_; }
+  double exponent() const { return exponent_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  uint64_t num_items_;
+  double exponent_;
+  double h_x1_;
+  double h_num_items_;
+  double s_;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_DATA_ZIPF_H_

@@ -1,0 +1,142 @@
+// Hash_TBBSC (paper Section 5.8): concurrent separate-chaining hash table
+// modelled on tbb::concurrent_unordered_map. Inserts are lock-free
+// compare-and-swap pushes onto per-bucket singly linked lists; lookups are
+// wait-free list walks. Like the TBB container, the map supports concurrent
+// insertion and traversal but no erasure, and — also like TBB — it does not
+// protect the *values*: concurrent mutation of a group's aggregate state is
+// the caller's job (the aggregation operators use atomics or per-group
+// locks, matching how the paper's Q1/Q3 operators were built).
+
+#ifndef MEMAGG_HASH_CONCURRENT_CHAINING_MAP_H_
+#define MEMAGG_HASH_CONCURRENT_CHAINING_MAP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_fn.h"
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace memagg {
+
+/// Concurrent separate-chaining hash map from uint64_t keys to Value.
+///
+/// The bucket array is sized once at construction (the paper's operators
+/// size tables to the dataset size); chains absorb any excess. GetOrInsert /
+/// Find are thread-safe; ForEach must not race with writers.
+template <typename Value>
+class ConcurrentChainingMap {
+ public:
+  explicit ConcurrentChainingMap(size_t expected_size)
+      : buckets_(static_cast<size_t>(NextPowerOfTwo(expected_size + 1))),
+        mask_(buckets_.size() - 1) {
+    for (auto& head : buckets_) head.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ~ConcurrentChainingMap() {
+    for (auto& head : buckets_) {
+      Node* node = head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next;
+        delete node;
+        node = next;
+      }
+    }
+  }
+
+  ConcurrentChainingMap(const ConcurrentChainingMap&) = delete;
+  ConcurrentChainingMap& operator=(const ConcurrentChainingMap&) = delete;
+
+  /// Returns the value slot for `key`, inserting a default-constructed value
+  /// if absent. Thread-safe; on insert races exactly one node wins and all
+  /// callers converge on it.
+  Value& GetOrInsert(uint64_t key) {
+    std::atomic<Node*>& head = buckets_[HashKey(key) & mask_];
+    Node* first = head.load(std::memory_order_acquire);
+    if (Value* found = FindInChain(first, key)) return *found;
+    Node* node = new Node(key, first);
+    while (!head.compare_exchange_weak(node->next, node,
+                                       std::memory_order_release,
+                                       std::memory_order_acquire)) {
+      // Another thread pushed; someone may have inserted our key. Only the
+      // freshly pushed prefix needs rescanning.
+      if (Value* found =
+              FindInChain(node->next, key, /*stop_at=*/first)) {
+        delete node;
+        return *found;
+      }
+      first = node->next;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return node->value;
+  }
+
+  /// Returns the value for `key` or nullptr. Thread-safe.
+  const Value* Find(uint64_t key) const {
+    const std::atomic<Node*>& head = buckets_[HashKey(key) & mask_];
+    return FindInChain(head.load(std::memory_order_acquire), key);
+  }
+
+  Value* Find(uint64_t key) {
+    const auto* self = this;
+    return const_cast<Value*>(self->Find(key));
+  }
+
+  size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Invokes fn(key, value) for every stored entry. Must not race with
+  /// writers.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const auto& head : buckets_) {
+      for (const Node* node = head.load(std::memory_order_acquire);
+           node != nullptr; node = node->next) {
+        fn(node->key, node->value);
+      }
+    }
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const {
+    return buckets_.size() * sizeof(std::atomic<Node*>) +
+           size() * sizeof(Node);
+  }
+
+ private:
+  struct Node {
+    // Value is default-constructed in place so non-movable values (atomics,
+    // lock-guarded buffers) are supported.
+    Node(uint64_t k, Node* nxt) : key(k), next(nxt) {}
+    uint64_t key;
+    Value value{};
+    Node* next;
+  };
+
+  static const Value* FindInChain(const Node* node, uint64_t key,
+                                  const Node* stop_at = nullptr) {
+    for (; node != stop_at; node = node->next) {
+      if (node->key == key) return &node->value;
+    }
+    return nullptr;
+  }
+
+  static Value* FindInChain(Node* node, uint64_t key,
+                            const Node* stop_at = nullptr) {
+    for (; node != stop_at; node = node->next) {
+      if (node->key == key) return &node->value;
+    }
+    return nullptr;
+  }
+
+  std::vector<std::atomic<Node*>> buckets_;
+  size_t mask_;
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_HASH_CONCURRENT_CHAINING_MAP_H_

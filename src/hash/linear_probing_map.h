@@ -1,0 +1,192 @@
+// Hash_LP (paper Section 3.2.1): custom open-addressing hash table with
+// linear probing.
+//
+// Follows the paper's described "industry best practices":
+//   * capacity is kept at a power of two so the modulo reduction is a bitwise
+//     AND (SizingPolicy::kPowerOfTwo, the default);
+//   * if a power-of-two capacity would overshoot the memory budget, the
+//     caller can fall back to a prime capacity (kPrime) or the exact
+//     requested size (kExact), both of which use the slower modulo reduction;
+//   * all items live in one contiguous slot array — no pointers — which is
+//     what gives Hash_LP its cache-friendly layout.
+
+#ifndef MEMAGG_HASH_LINEAR_PROBING_MAP_H_
+#define MEMAGG_HASH_LINEAR_PROBING_MAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "hash/hash_fn.h"
+#include "util/bits.h"
+#include "util/macros.h"
+#include "util/prime.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+/// How the table picks its slot-array capacity (paper Section 3.2.1).
+enum class SizingPolicy {
+  kPowerOfTwo,  ///< Round up to a power of two; reduce with bitwise AND.
+  kPrime,       ///< Round up to a prime; reduce with modulo.
+  kExact,       ///< Use the requested size as-is; reduce with modulo.
+};
+
+/// Open-addressing hash map with linear probing from uint64_t keys to Value.
+/// Keys must not be kEmptyKey. Not thread-safe. `Tracer` reports every slot
+/// touched (see util/tracer.h).
+template <typename Value, typename Tracer = NullTracer>
+class LinearProbingMap {
+ public:
+  /// `expected_size` pre-sizes the table; the paper sizes tables to the
+  /// dataset size since group-by cardinality is unknown in advance.
+  explicit LinearProbingMap(size_t expected_size,
+                            SizingPolicy policy = SizingPolicy::kPowerOfTwo)
+      : policy_(policy) {
+    Rebuild(DesiredCapacity(expected_size + 1));
+  }
+
+  /// Returns the value slot for `key`, default-constructing it on first use.
+  Value& GetOrInsert(uint64_t key) {
+    MEMAGG_DCHECK(key != kEmptyKey);
+    if (MEMAGG_UNLIKELY((size_ + 1) * 10 > capacity_ * 7)) {
+      Rebuild(DesiredCapacity(capacity_ * 2));
+    }
+    size_t idx = Reduce(HashKey(key));
+    while (true) {
+      Slot& slot = slots_[idx];
+      Tracer::OnAccess(&slot, sizeof(Slot));
+      if (slot.key == key) return slot.value;
+      if (slot.key == kEmptyKey) {
+        slot.key = key;
+        slot.value = Value{};
+        ++size_;
+        return slot.value;
+      }
+      idx = Advance(idx);
+    }
+  }
+
+  /// Returns the value for `key` or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    MEMAGG_DCHECK(key != kEmptyKey);
+    size_t idx = Reduce(HashKey(key));
+    while (true) {
+      const Slot& slot = slots_[idx];
+      Tracer::OnAccess(&slot, sizeof(Slot));
+      if (slot.key == key) return &slot.value;
+      if (slot.key == kEmptyKey) return nullptr;
+      idx = Advance(idx);
+    }
+  }
+
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(
+        static_cast<const LinearProbingMap*>(this)->Find(key));
+  }
+
+  /// Number of distinct keys stored.
+  size_t size() const { return size_; }
+
+  size_t capacity() const { return capacity_; }
+
+  SizingPolicy policy() const { return policy_; }
+
+  /// Invokes fn(key, value) for every stored entry, in table order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Slot& slot : slots_) {
+      Tracer::OnAccess(&slot, sizeof(Slot));
+      if (slot.key != kEmptyKey) fn(slot.key, slot.value);
+    }
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return capacity_ * sizeof(Slot); }
+
+  /// Probe-distance diagnostics, computed on demand (no hot-path counters).
+  /// `max_probe`/`total_probes` measure each key's displacement from its
+  /// home slot + 1; primary clustering shows up as a heavy tail.
+  struct ProbeStats {
+    size_t entries = 0;
+    size_t max_probe = 0;
+    size_t total_probes = 0;
+    double load_factor = 0.0;
+
+    double average_probe() const {
+      return entries == 0 ? 0.0
+                          : static_cast<double>(total_probes) /
+                                static_cast<double>(entries);
+    }
+  };
+
+  ProbeStats ComputeProbeStats() const {
+    ProbeStats stats;
+    stats.load_factor =
+        static_cast<double>(size_) / static_cast<double>(capacity_);
+    for (size_t idx = 0; idx < capacity_; ++idx) {
+      const Slot& slot = slots_[idx];
+      if (slot.key == kEmptyKey) continue;
+      const size_t home = Reduce(HashKey(slot.key));
+      const size_t distance =
+          idx >= home ? idx - home : idx + capacity_ - home;
+      ++stats.entries;
+      stats.total_probes += distance + 1;
+      stats.max_probe = std::max(stats.max_probe, distance + 1);
+    }
+    return stats;
+  }
+
+ private:
+  struct Slot {
+    uint64_t key = kEmptyKey;
+    Value value{};
+  };
+
+  size_t DesiredCapacity(size_t at_least) const {
+    switch (policy_) {
+      case SizingPolicy::kPowerOfTwo:
+        return static_cast<size_t>(NextPowerOfTwo(at_least));
+      case SizingPolicy::kPrime:
+        return static_cast<size_t>(NextPrime(at_least));
+      case SizingPolicy::kExact:
+        return at_least;
+    }
+    MEMAGG_CHECK(false);
+    return at_least;
+  }
+
+  size_t Reduce(uint64_t hash) const {
+    // Power-of-two capacity: modulo becomes a mask (the optimization the
+    // paper highlights). Other policies pay the division.
+    if (policy_ == SizingPolicy::kPowerOfTwo) return hash & (capacity_ - 1);
+    return hash % capacity_;
+  }
+
+  size_t Advance(size_t idx) const {
+    return MEMAGG_UNLIKELY(idx + 1 == capacity_) ? 0 : idx + 1;
+  }
+
+  void Rebuild(size_t new_capacity) {
+    std::vector<Slot> old_slots = std::move(slots_);
+    capacity_ = new_capacity;
+    slots_.assign(capacity_, Slot{});
+    size_ = 0;
+    for (Slot& slot : old_slots) {
+      if (slot.key != kEmptyKey) {
+        GetOrInsert(slot.key) = std::move(slot.value);
+      }
+    }
+  }
+
+  SizingPolicy policy_;
+  std::vector<Slot> slots_;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_HASH_LINEAR_PROBING_MAP_H_

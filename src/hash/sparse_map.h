@@ -1,0 +1,188 @@
+// Hash_Sparse (paper Section 3.2.2): quadratic-probing hash table in the
+// style of Google sparse_hash_map. The logical slot array is split into
+// 48-slot groups; each group stores a 48-bit occupancy bitmap plus an
+// exact-fit packed array holding only the occupied entries. Lookups cost one
+// popcount per probe; inserts shift the packed array (the "memory efficiency
+// over speed" trade the paper describes).
+
+#ifndef MEMAGG_HASH_SPARSE_MAP_H_
+#define MEMAGG_HASH_SPARSE_MAP_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "hash/hash_fn.h"
+#include "util/bits.h"
+#include "util/macros.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+/// Sparse quadratic-probing hash map from uint64_t keys to Value.
+/// Value must be movable. Not thread-safe. `Tracer` reports group-bitmap and
+/// packed-entry accesses (see util/tracer.h).
+template <typename Value, typename Tracer = NullTracer>
+class SparseMap {
+ public:
+  explicit SparseMap(size_t expected_size) {
+    Rebuild(static_cast<size_t>(NextPowerOfTwo(expected_size + 1)));
+  }
+
+  ~SparseMap() { DestroyGroups(); }
+
+  SparseMap(const SparseMap&) = delete;
+  SparseMap& operator=(const SparseMap&) = delete;
+
+  /// Returns the value slot for `key`, default-constructing it on first use.
+  Value& GetOrInsert(uint64_t key) {
+    // sparsehash grows at 80% occupancy.
+    if (MEMAGG_UNLIKELY((size_ + 1) * 5 > capacity_ * 4)) {
+      Rebuild(capacity_ * 2);
+    }
+    size_t idx = HashKey(key) & mask_;
+    size_t step = 0;
+    while (true) {
+      Group& group = groups_[idx / kGroupSize];
+      Tracer::OnAccess(&group, sizeof(Group));
+      const uint32_t bit = static_cast<uint32_t>(idx % kGroupSize);
+      const size_t rank = group.RankOf(bit);
+      if (group.IsOccupied(bit)) {
+        Tracer::OnAccess(&group.entries[rank], sizeof(Entry));
+        if (group.entries[rank].key == key) return group.entries[rank].value;
+      } else {
+        Entry& entry = group.InsertAt(rank, bit, key);
+        ++size_;
+        return entry.value;
+      }
+      idx = (idx + ++step) & mask_;
+    }
+  }
+
+  /// Returns the value for `key` or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    size_t idx = HashKey(key) & mask_;
+    size_t step = 0;
+    while (true) {
+      const Group& group = groups_[idx / kGroupSize];
+      Tracer::OnAccess(&group, sizeof(Group));
+      const uint32_t bit = static_cast<uint32_t>(idx % kGroupSize);
+      if (!group.IsOccupied(bit)) return nullptr;
+      const Entry& entry = group.entries[group.RankOf(bit)];
+      Tracer::OnAccess(&entry, sizeof(Entry));
+      if (entry.key == key) return &entry.value;
+      idx = (idx + ++step) & mask_;
+    }
+  }
+
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(static_cast<const SparseMap*>(this)->Find(key));
+  }
+
+  size_t size() const { return size_; }
+
+  size_t capacity() const { return capacity_; }
+
+  /// Invokes fn(key, value) for every stored entry, in table order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Group& group : groups_) {
+      Tracer::OnAccess(&group, sizeof(Group));
+      const size_t count = group.Count();
+      for (size_t i = 0; i < count; ++i) {
+        Tracer::OnAccess(&group.entries[i], sizeof(Entry));
+        fn(group.entries[i].key, group.entries[i].value);
+      }
+    }
+  }
+
+  /// Approximate heap footprint in bytes: bitmaps plus exact-fit entries.
+  size_t MemoryBytes() const {
+    return groups_.size() * sizeof(Group) + size_ * sizeof(Entry);
+  }
+
+ private:
+  static constexpr size_t kGroupSize = 48;  // sparsehash's group width.
+
+  struct Entry {
+    uint64_t key;
+    Value value;
+  };
+
+  struct Group {
+    uint64_t bitmap = 0;
+    Entry* entries = nullptr;
+
+    bool IsOccupied(uint32_t bit) const { return (bitmap >> bit) & 1; }
+
+    /// Number of occupied slots before `bit`.
+    size_t RankOf(uint32_t bit) const {
+      return static_cast<size_t>(
+          std::popcount(bitmap & ((1ULL << bit) - 1)));
+    }
+
+    size_t Count() const { return static_cast<size_t>(std::popcount(bitmap)); }
+
+    /// Inserts a default-valued entry for `key` at packed position `rank`,
+    /// reallocating the packed array to the exact new size.
+    Entry& InsertAt(size_t rank, uint32_t bit, uint64_t key) {
+      const size_t old_count = Count();
+      Entry* new_entries = static_cast<Entry*>(
+          ::operator new(sizeof(Entry) * (old_count + 1)));
+      for (size_t i = 0; i < rank; ++i) {
+        new (&new_entries[i]) Entry{entries[i].key, std::move(entries[i].value)};
+      }
+      new (&new_entries[rank]) Entry{key, Value{}};
+      for (size_t i = rank; i < old_count; ++i) {
+        new (&new_entries[i + 1])
+            Entry{entries[i].key, std::move(entries[i].value)};
+      }
+      FreeEntries(old_count);
+      entries = new_entries;
+      bitmap |= 1ULL << bit;
+      // The exact-fit reallocation rewrites the whole packed array — the
+      // insert cost that makes Hash_Sparse trade speed for memory.
+      Tracer::OnAccess(entries, sizeof(Entry) * (old_count + 1));
+      return entries[rank];
+    }
+
+    void FreeEntries(size_t count) {
+      if (entries == nullptr) return;
+      for (size_t i = 0; i < count; ++i) entries[i].~Entry();
+      ::operator delete(entries);
+      entries = nullptr;
+    }
+  };
+
+  void DestroyGroups() {
+    for (Group& group : groups_) group.FreeEntries(group.Count());
+    groups_.clear();
+  }
+
+  void Rebuild(size_t new_capacity) {
+    std::vector<Group> old_groups = std::move(groups_);
+    capacity_ = new_capacity;
+    mask_ = capacity_ - 1;
+    groups_.assign((capacity_ + kGroupSize - 1) / kGroupSize, Group{});
+    size_ = 0;
+    for (Group& group : old_groups) {
+      const size_t count = group.Count();
+      for (size_t i = 0; i < count; ++i) {
+        GetOrInsert(group.entries[i].key) = std::move(group.entries[i].value);
+      }
+      group.FreeEntries(count);
+    }
+  }
+
+  std::vector<Group> groups_;
+  size_t capacity_ = 0;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_HASH_SPARSE_MAP_H_

@@ -1,0 +1,96 @@
+#include "sim/cache_model.h"
+
+#include "util/bits.h"
+#include "util/macros.h"
+
+namespace memagg {
+namespace {
+
+constexpr uint64_t kEmptyWay = ~0ULL;
+
+size_t SetsFor(const CacheLevelConfig& level, int line_bytes) {
+  MEMAGG_CHECK(level.size_bytes > 0);
+  MEMAGG_CHECK(level.associativity >= 1);
+  const size_t lines = level.size_bytes / static_cast<size_t>(line_bytes);
+  const size_t sets = lines / static_cast<size_t>(level.associativity);
+  MEMAGG_CHECK(sets >= 1);
+  return static_cast<size_t>(NextPowerOfTwo(sets));
+}
+
+size_t SetsForTlb(int entries, int associativity) {
+  MEMAGG_CHECK(entries >= associativity);
+  return static_cast<size_t>(
+      NextPowerOfTwo(static_cast<uint64_t>(entries / associativity)));
+}
+
+}  // namespace
+
+SetAssociativeCache::SetAssociativeCache(size_t num_sets, int associativity)
+    : num_sets_(num_sets),
+      associativity_(associativity),
+      ways_(num_sets * static_cast<size_t>(associativity), kEmptyWay) {
+  MEMAGG_CHECK(IsPowerOfTwo(num_sets));
+}
+
+bool SetAssociativeCache::Access(uint64_t id) {
+  const size_t set = static_cast<size_t>(id) & (num_sets_ - 1);
+  uint64_t* ways = &ways_[set * static_cast<size_t>(associativity_)];
+  // MRU-ordered linear scan; associativities are small (<= 12).
+  for (int i = 0; i < associativity_; ++i) {
+    if (ways[i] == id) {
+      // Hit: move to front.
+      for (int j = i; j > 0; --j) ways[j] = ways[j - 1];
+      ways[0] = id;
+      return true;
+    }
+  }
+  // Miss: evict the LRU way (the last slot) and insert at the front.
+  for (int j = associativity_ - 1; j > 0; --j) ways[j] = ways[j - 1];
+  ways[0] = id;
+  return false;
+}
+
+CacheModel::CacheModel(const CacheHierarchyConfig& config)
+    : config_(config),
+      l1_(SetsFor(config.l1, config.line_bytes), config.l1.associativity),
+      l2_(SetsFor(config.l2, config.line_bytes), config.l2.associativity),
+      l3_(SetsFor(config.l3, config.line_bytes), config.l3.associativity),
+      tlb_l1_(SetsForTlb(config.tlb_l1_entries, config.tlb_l1_associativity),
+              config.tlb_l1_associativity),
+      tlb_l2_(SetsForTlb(config.tlb_l2_entries, config.tlb_l2_associativity),
+              config.tlb_l2_associativity) {}
+
+void CacheModel::Access(const void* address, size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const uint64_t addr = reinterpret_cast<uint64_t>(address);
+  const uint64_t first_line = addr / static_cast<uint64_t>(config_.line_bytes);
+  const uint64_t last_line =
+      (addr + bytes - 1) / static_cast<uint64_t>(config_.line_bytes);
+  for (uint64_t line = first_line; line <= last_line; ++line) {
+    AccessLine(line);
+  }
+  const uint64_t first_page = addr / static_cast<uint64_t>(config_.page_bytes);
+  const uint64_t last_page =
+      (addr + bytes - 1) / static_cast<uint64_t>(config_.page_bytes);
+  for (uint64_t page = first_page; page <= last_page; ++page) {
+    AccessPage(page);
+  }
+}
+
+void CacheModel::AccessLine(uint64_t line) {
+  ++stats_.accesses;
+  if (l1_.Access(line)) return;
+  ++stats_.l1_misses;
+  if (l2_.Access(line)) return;
+  ++stats_.l2_misses;
+  if (l3_.Access(line)) return;
+  ++stats_.llc_misses;
+}
+
+void CacheModel::AccessPage(uint64_t page) {
+  if (tlb_l1_.Access(page)) return;
+  if (tlb_l2_.Access(page)) return;
+  ++stats_.tlb_misses;
+}
+
+}  // namespace memagg

@@ -1,0 +1,9 @@
+#include "sim/sim_tracer.h"
+
+namespace memagg {
+namespace sim_internal {
+
+CacheModel* g_cache_model = nullptr;
+
+}  // namespace sim_internal
+}  // namespace memagg

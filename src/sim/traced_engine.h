@@ -1,0 +1,32 @@
+// Factory for cache-simulation-instrumented aggregation operators.
+//
+// Mirrors core/engine.h's label registry, but instantiates every data
+// structure with Tracer = SimTracer so all slot/node/bucket accesses flow
+// into the bound CacheModel. Sort kernels are traced by wrapping the
+// sorter's KeyOf functor: every key extraction reports the element's
+// address, which covers the comparison- and radix-driven access patterns of
+// the sorts. Input-column scans are deliberately untraced for all operators
+// (they are identical sequential reads for every algorithm).
+//
+// Used by bench_cache_tlb's --mode=sim fallback (Figure 6 without perf).
+
+#ifndef MEMAGG_SIM_TRACED_ENGINE_H_
+#define MEMAGG_SIM_TRACED_ENGINE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/aggregate.h"
+#include "core/operator.h"
+
+namespace memagg {
+
+/// Creates a traced vector aggregator for a Table 3 serial label. Supports
+/// the Figure 6 functions (kCount for Q1, kMedian for Q3).
+std::unique_ptr<VectorAggregator> MakeTracedVectorAggregator(
+    const std::string& label, AggregateFunction function,
+    size_t expected_size);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SIM_TRACED_ENGINE_H_

@@ -1,0 +1,45 @@
+// Heapsort: guaranteed O(n log n), used by Introsort when the quicksort
+// recursion exceeds its depth bound (paper Section 3.1.2).
+
+#ifndef MEMAGG_SORT_HEAPSORT_H_
+#define MEMAGG_SORT_HEAPSORT_H_
+
+#include <cstddef>
+#include <utility>
+
+namespace memagg {
+
+namespace sort_internal {
+
+template <typename T, typename Less>
+void SiftDown(T* data, size_t start, size_t end, Less less) {
+  size_t root = start;
+  while (true) {
+    size_t child = 2 * root + 1;
+    if (child >= end) break;
+    if (child + 1 < end && less(data[child], data[child + 1])) ++child;
+    if (!less(data[root], data[child])) break;
+    std::swap(data[root], data[child]);
+    root = child;
+  }
+}
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) in place using `less`.
+template <typename T, typename Less>
+void HeapSort(T* first, T* last, Less less) {
+  const size_t n = static_cast<size_t>(last - first);
+  if (n < 2) return;
+  for (size_t i = n / 2; i-- > 0;) {
+    sort_internal::SiftDown(first, i, n, less);
+  }
+  for (size_t end = n - 1; end > 0; --end) {
+    std::swap(first[0], first[end]);
+    sort_internal::SiftDown(first, 0, end, less);
+  }
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_HEAPSORT_H_

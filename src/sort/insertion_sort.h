@@ -1,0 +1,29 @@
+// Insertion sort: O(n^2) worst case but the fastest option on tiny or
+// nearly-sorted ranges. Used as the base case of Introsort, MSB radix sort,
+// and Spreadsort (mirroring the GCC/Boost hybrids the paper evaluates).
+
+#ifndef MEMAGG_SORT_INSERTION_SORT_H_
+#define MEMAGG_SORT_INSERTION_SORT_H_
+
+#include <cstddef>
+#include <utility>
+
+namespace memagg {
+
+/// Sorts [first, last) in place using `less`.
+template <typename T, typename Less>
+void InsertionSort(T* first, T* last, Less less) {
+  for (T* i = first + (last - first > 0 ? 1 : 0); i < last; ++i) {
+    T value = std::move(*i);
+    T* j = i;
+    while (j > first && less(value, *(j - 1))) {
+      *j = std::move(*(j - 1));
+      --j;
+    }
+    *j = std::move(value);
+  }
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_INSERTION_SORT_H_

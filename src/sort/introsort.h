@@ -1,0 +1,62 @@
+// Introsort (paper Section 3.1.2): quicksort with a 2*log2(n) recursion
+// bound, switching to heapsort when the bound is exceeded and to insertion
+// sort on small ranges — the GCC std::sort strategy the paper benchmarks as
+// "Introsort".
+
+#ifndef MEMAGG_SORT_INTROSORT_H_
+#define MEMAGG_SORT_INTROSORT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sort/heapsort.h"
+#include "sort/insertion_sort.h"
+#include "sort/quicksort.h"
+#include "sort/sort_common.h"
+#include "util/bits.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+template <typename T, typename Less>
+void IntroSortImpl(T* first, T* last, int depth_budget, Less less) {
+  while (last - first > kQuicksortInsertionThreshold) {
+    if (depth_budget == 0) {
+      HeapSort(first, last, less);
+      return;
+    }
+    --depth_budget;
+    T pivot = MedianOfThree(first, first + (last - first) / 2, last - 1, less);
+    T* split = HoarePartition(first, last, pivot, less);
+    if (split - first < last - split) {
+      IntroSortImpl(first, split, depth_budget, less);
+      first = split;
+    } else {
+      IntroSortImpl(split, last, depth_budget, less);
+      last = split;
+    }
+  }
+  InsertionSort(first, last, less);
+}
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) in place with introsort.
+template <typename T, typename Less>
+void IntroSort(T* first, T* last, Less less) {
+  const ptrdiff_t n = last - first;
+  if (n < 2) return;
+  // GCC sets the recursion budget to 2 * log2(n).
+  const int depth_budget = 2 * Log2Floor(static_cast<uint64_t>(n));
+  sort_internal::IntroSortImpl(first, last, depth_budget, less);
+}
+
+/// Convenience overload for integer keys.
+inline void IntroSort(uint64_t* first, uint64_t* last) {
+  IntroSort(first, last, KeyLess<IdentityKey>{});
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_INTROSORT_H_

@@ -1,0 +1,128 @@
+// Sort_QSLB (paper Section 5.8): parallel quicksort with dynamic load
+// balancing, modelled on GCC's parallel-mode balanced quicksort. Workers
+// share a stack of unsorted ranges: each worker pops a range, partitions it,
+// pushes one half back for any idle worker to steal, and keeps refining the
+// other half. Small ranges are finished locally with Introsort.
+
+#ifndef MEMAGG_SORT_PARALLEL_QUICKSORT_H_
+#define MEMAGG_SORT_PARALLEL_QUICKSORT_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sort/introsort.h"
+#include "sort/quicksort.h"
+#include "sort/sort_common.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+template <typename T, typename Less>
+class QuicksortLoadBalancer {
+ public:
+  QuicksortLoadBalancer(Less less) : less_(less) {}
+
+  void Run(T* first, T* last, int num_threads) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ranges_.push_back({first, last});
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads.emplace_back([this] { WorkerLoop(); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+ private:
+  struct Range {
+    T* first;
+    T* last;
+  };
+
+  void WorkerLoop() {
+    while (true) {
+      Range range;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_changed_.wait(lock, [this] {
+          return !ranges_.empty() || busy_workers_ == 0;
+        });
+        if (ranges_.empty()) {
+          // No queued work and nobody can produce more: sorting is complete.
+          work_changed_.notify_all();
+          return;
+        }
+        range = ranges_.back();
+        ranges_.pop_back();
+        ++busy_workers_;
+      }
+      ProcessRange(range);
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --busy_workers_;
+      }
+      work_changed_.notify_all();
+    }
+  }
+
+  void ProcessRange(Range range) {
+    T* first = range.first;
+    T* last = range.last;
+    while (last - first > kParallelSequentialThreshold) {
+      T pivot =
+          MedianOfThree(first, first + (last - first) / 2, last - 1, less_);
+      T* split = HoarePartition(first, last, pivot, less_);
+      // Publish the larger half for idle workers; keep refining the smaller.
+      Range publish;
+      if (split - first < last - split) {
+        publish = {split, last};
+        last = split;
+      } else {
+        publish = {first, split};
+        first = split;
+      }
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        ranges_.push_back(publish);
+      }
+      work_changed_.notify_one();
+    }
+    IntroSort(first, last, less_);
+  }
+
+  Less less_;
+  std::mutex mutex_;
+  std::condition_variable work_changed_;
+  std::vector<Range> ranges_;
+  int busy_workers_ = 0;
+};
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) with `num_threads` cooperating workers.
+template <typename T, typename Less>
+void ParallelQuickSort(T* first, T* last, Less less, int num_threads) {
+  if (last - first < 2) return;
+  if (num_threads <= 1 ||
+      last - first <= sort_internal::kParallelSequentialThreshold) {
+    IntroSort(first, last, less);
+    return;
+  }
+  sort_internal::QuicksortLoadBalancer<T, Less> balancer(less);
+  balancer.Run(first, last, num_threads);
+}
+
+inline void ParallelQuickSort(uint64_t* first, uint64_t* last,
+                              int num_threads) {
+  ParallelQuickSort(first, last, KeyLess<IdentityKey>{}, num_threads);
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_PARALLEL_QUICKSORT_H_

@@ -1,0 +1,83 @@
+// Quicksort (paper Section 3.1.1): Hoare-style partitioning with a
+// median-of-three pivot and tail-recursion elimination on the larger side.
+// Average O(n log n); no depth bound, so adversarial inputs can reach
+// O(n^2) — that is the behaviour the paper contrasts with Introsort.
+
+#ifndef MEMAGG_SORT_QUICKSORT_H_
+#define MEMAGG_SORT_QUICKSORT_H_
+
+#include <cstddef>
+#include <utility>
+
+#include "sort/insertion_sort.h"
+#include "sort/sort_common.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+inline constexpr ptrdiff_t kQuicksortInsertionThreshold = 16;
+
+/// Median-of-three pivot selection: sorts *lo, *mid, *hi and returns *mid.
+template <typename T, typename Less>
+const T& MedianOfThree(T* lo, T* mid, T* hi, Less less) {
+  if (less(*mid, *lo)) std::swap(*mid, *lo);
+  if (less(*hi, *mid)) {
+    std::swap(*hi, *mid);
+    if (less(*mid, *lo)) std::swap(*mid, *lo);
+  }
+  return *mid;
+}
+
+/// Hoare partition around `pivot`; returns the split point. All elements in
+/// [first, split) are <= pivot and all in [split, last) are >= pivot.
+template <typename T, typename Less>
+T* HoarePartition(T* first, T* last, T pivot, Less less) {
+  T* lo = first - 1;
+  T* hi = last;
+  while (true) {
+    do {
+      ++lo;
+    } while (less(*lo, pivot));
+    do {
+      --hi;
+    } while (less(pivot, *hi));
+    if (lo >= hi) return lo;
+    std::swap(*lo, *hi);
+  }
+}
+
+template <typename T, typename Less>
+void QuickSortImpl(T* first, T* last, Less less) {
+  while (last - first > kQuicksortInsertionThreshold) {
+    T pivot = MedianOfThree(first, first + (last - first) / 2, last - 1, less);
+    T* split = HoarePartition(first, last, pivot, less);
+    // Recurse into the smaller side; loop on the larger to bound stack depth.
+    if (split - first < last - split) {
+      QuickSortImpl(first, split, less);
+      first = split;
+    } else {
+      QuickSortImpl(split, last, less);
+      last = split;
+    }
+  }
+  InsertionSort(first, last, less);
+}
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) in place with quicksort.
+template <typename T, typename Less>
+void QuickSort(T* first, T* last, Less less) {
+  if (last - first < 2) return;
+  sort_internal::QuickSortImpl(first, last, less);
+}
+
+/// Convenience overload for integer keys.
+inline void QuickSort(uint64_t* first, uint64_t* last) {
+  QuickSort(first, last, KeyLess<IdentityKey>{});
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_QUICKSORT_H_

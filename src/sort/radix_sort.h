@@ -1,0 +1,149 @@
+// Radix sorts (paper Section 3.1.3): byte-wise LSB (stable, out-of-place
+// counting passes) and MSB (in-place American-flag partitioning, recursing
+// top-down). Both are O(k*n) in the key width k and both skip byte positions
+// that are constant across the input, so narrow key ranges cost fewer passes.
+
+#ifndef MEMAGG_SORT_RADIX_SORT_H_
+#define MEMAGG_SORT_RADIX_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sort/insertion_sort.h"
+#include "sort/sort_common.h"
+#include "util/bits.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+inline constexpr ptrdiff_t kRadixInsertionThreshold = 64;
+inline constexpr int kRadixBits = 8;
+inline constexpr size_t kRadixBuckets = 1u << kRadixBits;
+
+template <typename T, typename KeyOf>
+void MsbRadixSortImpl(T* first, T* last, int shift, KeyOf key_of) {
+  const ptrdiff_t n = last - first;
+  if (n <= kRadixInsertionThreshold) {
+    InsertionSort(first, last, KeyLess<KeyOf>{key_of});
+    return;
+  }
+
+  size_t counts[kRadixBuckets] = {};
+  for (T* p = first; p < last; ++p) {
+    ++counts[(key_of(*p) >> shift) & 0xff];
+  }
+
+  // Bucket boundaries: heads advance as elements settle; tails are fixed.
+  T* heads[kRadixBuckets];
+  T* tails[kRadixBuckets];
+  {
+    T* at = first;
+    for (size_t b = 0; b < kRadixBuckets; ++b) {
+      heads[b] = at;
+      at += counts[b];
+      tails[b] = at;
+    }
+  }
+
+  // American-flag in-place permutation: repeatedly move the element at each
+  // bucket head to its destination bucket until every bucket is full.
+  for (size_t b = 0; b < kRadixBuckets; ++b) {
+    while (heads[b] < tails[b]) {
+      size_t dest = (key_of(*heads[b]) >> shift) & 0xff;
+      if (dest == b) {
+        ++heads[b];
+      } else {
+        std::swap(*heads[b], *heads[dest]);
+        ++heads[dest];
+      }
+    }
+  }
+
+  if (shift == 0) return;
+  T* at = first;
+  for (size_t b = 0; b < kRadixBuckets; ++b) {
+    T* bucket_end = at + counts[b];
+    if (bucket_end - at > 1) {
+      MsbRadixSortImpl(at, bucket_end, shift - kRadixBits, key_of);
+    }
+    at = bucket_end;
+  }
+}
+
+}  // namespace sort_internal
+
+/// Most-significant-byte radix sort: in-place, not stable.
+template <typename T, typename KeyOf>
+void MsbRadixSort(T* first, T* last, KeyOf key_of) {
+  const ptrdiff_t n = last - first;
+  if (n < 2) return;
+  // Find the highest byte where keys differ; bytes above it are constant and
+  // need no pass.
+  uint64_t or_all = 0;
+  uint64_t and_all = ~0ULL;
+  for (T* p = first; p < last; ++p) {
+    const uint64_t k = key_of(*p);
+    or_all |= k;
+    and_all &= k;
+  }
+  const uint64_t diff = or_all ^ and_all;
+  if (diff == 0) return;  // All keys identical.
+  const int top_byte = Log2Floor(diff) / sort_internal::kRadixBits;
+  sort_internal::MsbRadixSortImpl(first, last,
+                                  top_byte * sort_internal::kRadixBits, key_of);
+}
+
+inline void MsbRadixSort(uint64_t* first, uint64_t* last) {
+  MsbRadixSort(first, last, IdentityKey{});
+}
+
+/// Least-significant-byte radix sort: stable, uses an n-element buffer.
+template <typename T, typename KeyOf>
+void LsbRadixSort(T* first, T* last, KeyOf key_of) {
+  const size_t n = static_cast<size_t>(last - first);
+  if (n < 2) return;
+
+  uint64_t or_all = 0;
+  uint64_t and_all = ~0ULL;
+  for (T* p = first; p < last; ++p) {
+    const uint64_t k = key_of(*p);
+    or_all |= k;
+    and_all &= k;
+  }
+  const uint64_t diff = or_all ^ and_all;
+  if (diff == 0) return;
+
+  std::vector<T> buffer(n);
+  T* src = first;
+  T* dst = buffer.data();
+  for (int shift = 0; shift < 64; shift += sort_internal::kRadixBits) {
+    if (((diff >> shift) & 0xff) == 0) continue;  // Constant byte: skip pass.
+    size_t counts[sort_internal::kRadixBuckets] = {};
+    for (size_t i = 0; i < n; ++i) {
+      ++counts[(key_of(src[i]) >> shift) & 0xff];
+    }
+    size_t offsets[sort_internal::kRadixBuckets];
+    size_t running = 0;
+    for (size_t b = 0; b < sort_internal::kRadixBuckets; ++b) {
+      offsets[b] = running;
+      running += counts[b];
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[offsets[(key_of(src[i]) >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != first) {
+    for (size_t i = 0; i < n; ++i) first[i] = src[i];
+  }
+}
+
+inline void LsbRadixSort(uint64_t* first, uint64_t* last) {
+  LsbRadixSort(first, last, IdentityKey{});
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_RADIX_SORT_H_

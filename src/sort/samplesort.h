@@ -1,0 +1,117 @@
+// Sort_SS (paper Section 5.8): Samplesort — a generalization of quicksort
+// that derives p-1 splitters from an oversampled random sample, scatters the
+// input into p buckets, and sorts the buckets in parallel.
+
+#ifndef MEMAGG_SORT_SAMPLESORT_H_
+#define MEMAGG_SORT_SAMPLESORT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "sort/introsort.h"
+#include "sort/sort_common.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+inline constexpr int kSampleOversampling = 32;
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) with `num_threads` workers using samplesort.
+template <typename T, typename Less>
+void SampleSort(T* first, T* last, Less less, int num_threads) {
+  const ptrdiff_t n = last - first;
+  if (n < 2) return;
+  if (num_threads <= 1 ||
+      n <= sort_internal::kParallelSequentialThreshold) {
+    IntroSort(first, last, less);
+    return;
+  }
+
+  const size_t num_buckets = static_cast<size_t>(num_threads);
+  const size_t sample_size =
+      num_buckets * sort_internal::kSampleOversampling;
+
+  // Draw and sort an oversampled set, then take every oversampling-th
+  // element as a splitter.
+  Rng rng;
+  std::vector<T> sample(sample_size);
+  for (auto& s : sample) {
+    s = first[rng.NextBounded(static_cast<uint64_t>(n))];
+  }
+  IntroSort(sample.data(), sample.data() + sample.size(), less);
+  std::vector<T> splitters(num_buckets - 1);
+  for (size_t i = 0; i + 1 < num_buckets; ++i) {
+    splitters[i] = sample[(i + 1) * sort_internal::kSampleOversampling];
+  }
+
+  const auto bucket_of = [&](const T& value) {
+    // Upper-bound over the sorted splitters.
+    return static_cast<size_t>(
+        std::upper_bound(splitters.begin(), splitters.end(), value, less) -
+        splitters.begin());
+  };
+
+  // Phase 1: per-chunk bucket histograms in parallel.
+  const int64_t chunks = num_threads;
+  const ptrdiff_t chunk_size = (n + chunks - 1) / chunks;
+  std::vector<std::vector<size_t>> chunk_counts(
+      static_cast<size_t>(chunks), std::vector<size_t>(num_buckets, 0));
+  ThreadPool pool(num_threads);
+  pool.ParallelFor(chunks, [&](int64_t c) {
+    T* chunk_first = first + c * chunk_size;
+    T* chunk_last = std::min(chunk_first + chunk_size, last);
+    auto& counts = chunk_counts[static_cast<size_t>(c)];
+    for (T* p = chunk_first; p < chunk_last; ++p) ++counts[bucket_of(*p)];
+  });
+
+  // Exclusive prefix sums give each (chunk, bucket) its scatter offset.
+  std::vector<std::vector<size_t>> chunk_offsets(
+      static_cast<size_t>(chunks), std::vector<size_t>(num_buckets, 0));
+  std::vector<size_t> bucket_starts(num_buckets + 1, 0);
+  {
+    size_t running = 0;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      bucket_starts[b] = running;
+      for (int64_t c = 0; c < chunks; ++c) {
+        chunk_offsets[static_cast<size_t>(c)][b] = running;
+        running += chunk_counts[static_cast<size_t>(c)][b];
+      }
+    }
+    bucket_starts[num_buckets] = running;
+  }
+
+  // Phase 2: parallel scatter into a temporary buffer.
+  std::vector<T> scattered(static_cast<size_t>(n));
+  pool.ParallelFor(chunks, [&](int64_t c) {
+    T* chunk_first = first + c * chunk_size;
+    T* chunk_last = std::min(chunk_first + chunk_size, last);
+    auto offsets = chunk_offsets[static_cast<size_t>(c)];
+    for (T* p = chunk_first; p < chunk_last; ++p) {
+      scattered[offsets[bucket_of(*p)]++] = *p;
+    }
+  });
+
+  // Phase 3: sort each bucket in parallel and copy back (buckets are already
+  // in their final global positions).
+  pool.ParallelFor(static_cast<int64_t>(num_buckets), [&](int64_t b) {
+    T* bucket_first = scattered.data() + bucket_starts[static_cast<size_t>(b)];
+    T* bucket_last = scattered.data() + bucket_starts[static_cast<size_t>(b) + 1];
+    IntroSort(bucket_first, bucket_last, less);
+    std::copy(bucket_first, bucket_last,
+              first + bucket_starts[static_cast<size_t>(b)]);
+  });
+}
+
+inline void SampleSort(uint64_t* first, uint64_t* last, int num_threads) {
+  SampleSort(first, last, KeyLess<IdentityKey>{}, num_threads);
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_SAMPLESORT_H_

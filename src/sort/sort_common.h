@@ -1,0 +1,49 @@
+// Shared helpers for the sorting algorithms.
+//
+// All memagg sorts are written against random-access ranges of trivially
+// copyable elements. Radix-based sorts additionally need a KeyOf functor that
+// maps an element to its uint64_t sort key; comparison sorts derive their
+// ordering from the same key so that every algorithm sorts identically.
+
+#ifndef MEMAGG_SORT_SORT_COMMON_H_
+#define MEMAGG_SORT_SORT_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace memagg {
+
+/// KeyOf for plain integer arrays.
+struct IdentityKey {
+  uint64_t operator()(uint64_t v) const { return v; }
+};
+
+/// KeyOf for (key, value) records sorted by key.
+struct PairFirstKey {
+  uint64_t operator()(const std::pair<uint64_t, uint64_t>& v) const {
+    return v.first;
+  }
+};
+
+namespace sort_internal {
+
+/// Ranges at or below this size are sorted sequentially by the parallel
+/// sorts; it bounds task-spawning overhead.
+inline constexpr ptrdiff_t kParallelSequentialThreshold = 1 << 14;
+
+}  // namespace sort_internal
+
+/// Comparator induced by a KeyOf functor.
+template <typename KeyOf>
+struct KeyLess {
+  KeyOf key_of;
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return key_of(a) < key_of(b);
+  }
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_SORT_COMMON_H_

@@ -1,0 +1,106 @@
+// Spreadsort (paper Section 3.1.4): the Boost integer_sort hybrid invented by
+// Steven J. Ross. MSB-radix "spreading" over up to 2^kMaxSplits buckets per
+// level (bucket index = (key - min) >> log_divisor) until partitions fall
+// below a threshold, at which point it switches to comparison sorting
+// (Introsort). Combines radix throughput on large partitions with
+// comparison-sort efficiency on small ones.
+
+#ifndef MEMAGG_SORT_SPREADSORT_H_
+#define MEMAGG_SORT_SPREADSORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sort/introsort.h"
+#include "sort/sort_common.h"
+#include "util/bits.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+/// Maximum number of bits split per radix level (Boost default for integers).
+inline constexpr int kSpreadMaxSplits = 11;
+/// Partitions at or below this size are finished with comparison sorting.
+inline constexpr ptrdiff_t kSpreadComparisonThreshold = 512;
+
+template <typename T, typename KeyOf>
+void SpreadSortImpl(T* first, T* last, KeyOf key_of) {
+  const ptrdiff_t n = last - first;
+  if (n <= kSpreadComparisonThreshold) {
+    IntroSort(first, last, KeyLess<KeyOf>{key_of});
+    return;
+  }
+
+  uint64_t min_key = key_of(*first);
+  uint64_t max_key = min_key;
+  for (T* p = first + 1; p < last; ++p) {
+    const uint64_t k = key_of(*p);
+    if (k < min_key) min_key = k;
+    if (k > max_key) max_key = k;
+  }
+  if (min_key == max_key) return;
+
+  // Split on the top kSpreadMaxSplits bits of the remaining key range.
+  const int log_range = Log2Floor(max_key - min_key) + 1;
+  const int log_divisor = log_range > kSpreadMaxSplits
+                              ? log_range - kSpreadMaxSplits
+                              : 0;
+  const size_t num_buckets =
+      static_cast<size_t>(((max_key - min_key) >> log_divisor)) + 1;
+
+  std::vector<size_t> counts(num_buckets, 0);
+  for (T* p = first; p < last; ++p) {
+    ++counts[(key_of(*p) - min_key) >> log_divisor];
+  }
+
+  std::vector<T*> heads(num_buckets);
+  std::vector<T*> tails(num_buckets);
+  {
+    T* at = first;
+    for (size_t b = 0; b < num_buckets; ++b) {
+      heads[b] = at;
+      at += counts[b];
+      tails[b] = at;
+    }
+  }
+  for (size_t b = 0; b < num_buckets; ++b) {
+    while (heads[b] < tails[b]) {
+      size_t dest = (key_of(*heads[b]) - min_key) >> log_divisor;
+      if (dest == b) {
+        ++heads[b];
+      } else {
+        std::swap(*heads[b], *heads[dest]);
+        ++heads[dest];
+      }
+    }
+  }
+
+  if (log_divisor == 0) return;  // Each bucket holds one distinct key.
+  T* at = first;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    T* bucket_end = at + counts[b];
+    if (bucket_end - at > 1) {
+      SpreadSortImpl(at, bucket_end, key_of);
+    }
+    at = bucket_end;
+  }
+}
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) in place with Spreadsort.
+template <typename T, typename KeyOf>
+void SpreadSort(T* first, T* last, KeyOf key_of) {
+  if (last - first < 2) return;
+  sort_internal::SpreadSortImpl(first, last, key_of);
+}
+
+inline void SpreadSort(uint64_t* first, uint64_t* last) {
+  SpreadSort(first, last, IdentityKey{});
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_SPREADSORT_H_

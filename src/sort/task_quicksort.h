@@ -1,0 +1,68 @@
+// Sort_TBB (paper Section 5.8): task-pool quicksort modelled on
+// tbb::parallel_sort — a quicksort whose recursive halves are spawned as
+// tasks into a worker pool, creating parallelism on demand up to the
+// configured thread count.
+
+#ifndef MEMAGG_SORT_TASK_QUICKSORT_H_
+#define MEMAGG_SORT_TASK_QUICKSORT_H_
+
+#include <cstddef>
+
+#include "sort/introsort.h"
+#include "sort/quicksort.h"
+#include "sort/sort_common.h"
+#include "util/thread_pool.h"
+
+namespace memagg {
+
+namespace sort_internal {
+
+template <typename T, typename Less>
+void TaskQuickSortBody(ThreadPool& pool, T* first, T* last, Less less) {
+  while (last - first > kParallelSequentialThreshold) {
+    T pivot = MedianOfThree(first, first + (last - first) / 2, last - 1, less);
+    T* split = HoarePartition(first, last, pivot, less);
+    // Spawn the smaller half as a task, continue on the larger in-place.
+    T* task_first;
+    T* task_last;
+    if (split - first < last - split) {
+      task_first = first;
+      task_last = split;
+      first = split;
+    } else {
+      task_first = split;
+      task_last = last;
+      last = split;
+    }
+    pool.Submit([&pool, task_first, task_last, less] {
+      TaskQuickSortBody(pool, task_first, task_last, less);
+    });
+  }
+  IntroSort(first, last, less);
+}
+
+}  // namespace sort_internal
+
+/// Sorts [first, last) with `num_threads` workers.
+template <typename T, typename Less>
+void TaskQuickSort(T* first, T* last, Less less, int num_threads) {
+  if (last - first < 2) return;
+  if (num_threads <= 1 ||
+      last - first <= sort_internal::kParallelSequentialThreshold) {
+    IntroSort(first, last, less);
+    return;
+  }
+  ThreadPool pool(num_threads);
+  pool.Submit([&pool, first, last, less] {
+    sort_internal::TaskQuickSortBody(pool, first, last, less);
+  });
+  pool.Wait();
+}
+
+inline void TaskQuickSort(uint64_t* first, uint64_t* last, int num_threads) {
+  TaskQuickSort(first, last, KeyLess<IdentityKey>{}, num_threads);
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_SORT_TASK_QUICKSORT_H_

@@ -1,0 +1,318 @@
+// Btree (paper Section 3.3.1): cache-optimized in-memory B+tree modelled on
+// the STX B+tree. Inner and leaf nodes are sized to a few cache lines of
+// keys; leaves are linked so range scans cost one O(log n) descent plus a
+// linear leaf walk — the property behind Btree's Figure 8 range-search win.
+//
+// Insert-only, not thread-safe.
+
+#ifndef MEMAGG_TREE_BTREE_H_
+#define MEMAGG_TREE_BTREE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+/// B+tree from uint64_t keys to Value. `Tracer` reports every node visited
+/// (see util/tracer.h).
+template <typename Value, typename Tracer = NullTracer>
+class BTree {
+ public:
+  /// Slots per node (STX sizes nodes to ~256 bytes of keys).
+  static constexpr int kLeafSlots = 16;
+  static constexpr int kInnerSlots = 16;
+
+  BTree() = default;
+  ~BTree() { DestroyNode(root_); }
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Returns the value slot for `key`, default-constructing it on first use.
+  Value& GetOrInsert(uint64_t key) {
+    if (root_ == nullptr) {
+      Leaf* leaf = NewLeaf();
+      root_ = leaf;
+      first_leaf_ = leaf;
+    }
+    SplitResult split;
+    Value* value = InsertImpl(root_, key, &split);
+    if (split.new_node != nullptr) {
+      Inner* new_root = NewInner();
+      new_root->count = 1;
+      new_root->keys[0] = split.separator;
+      new_root->children[0] = root_;
+      new_root->children[1] = split.new_node;
+      root_ = new_root;
+    }
+    return *value;
+  }
+
+  /// Returns the value for `key` or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    const Node* node = root_;
+    if (node == nullptr) return nullptr;
+    while (!node->is_leaf) {
+      const Inner* inner = static_cast<const Inner*>(node);
+      Tracer::OnAccess(inner, sizeof(Inner));
+      node = inner->children[UpperBound(inner->keys, inner->count, key)];
+    }
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    Tracer::OnAccess(leaf, sizeof(Leaf));
+    const int pos = LowerBound(leaf->keys, leaf->count, key);
+    if (pos < leaf->count && leaf->keys[pos] == key) return &leaf->values[pos];
+    return nullptr;
+  }
+
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(static_cast<const BTree*>(this)->Find(key));
+  }
+
+  size_t size() const { return size_; }
+
+  /// Invokes fn(key, value) in ascending key order, walking the leaf chain.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      Tracer::OnAccess(leaf, sizeof(Leaf));
+      for (int i = 0; i < leaf->count; ++i) {
+        fn(leaf->keys[i], leaf->values[i]);
+      }
+    }
+  }
+
+  /// Invokes fn(key, value) in ascending key order for keys in [lo, hi]:
+  /// one descent to the lower bound, then a linked-leaf walk.
+  template <typename Fn>
+  void ForEachInRange(uint64_t lo, uint64_t hi, Fn fn) const {
+    if (lo > hi || root_ == nullptr) return;
+    const Node* node = root_;
+    while (!node->is_leaf) {
+      const Inner* inner = static_cast<const Inner*>(node);
+      Tracer::OnAccess(inner, sizeof(Inner));
+      node = inner->children[UpperBound(inner->keys, inner->count, lo)];
+    }
+    const Leaf* leaf = static_cast<const Leaf*>(node);
+    int pos = LowerBound(leaf->keys, leaf->count, lo);
+    while (leaf != nullptr) {
+      Tracer::OnAccess(leaf, sizeof(Leaf));
+      for (; pos < leaf->count; ++pos) {
+        if (leaf->keys[pos] > hi) return;
+        fn(leaf->keys[pos], leaf->values[pos]);
+      }
+      leaf = leaf->next;
+      pos = 0;
+    }
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Shape diagnostics, computed on demand.
+  struct TreeStats {
+    size_t height = 0;  ///< Levels including the leaf level.
+    size_t inner_nodes = 0;
+    size_t leaves = 0;
+    double leaf_fill = 0.0;  ///< Mean occupied fraction of leaf slots.
+  };
+
+  TreeStats ComputeTreeStats() const {
+    TreeStats stats;
+    for (const Node* node = root_; node != nullptr;) {
+      ++stats.height;
+      if (node->is_leaf) break;
+      node = static_cast<const Inner*>(node)->children[0];
+    }
+    size_t leaf_entries = 0;
+    for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+      ++stats.leaves;
+      leaf_entries += static_cast<size_t>(leaf->count);
+    }
+    stats.leaf_fill = stats.leaves == 0
+                          ? 0.0
+                          : static_cast<double>(leaf_entries) /
+                                static_cast<double>(stats.leaves * kLeafSlots);
+    stats.inner_nodes = CountInner(root_);
+    return stats;
+  }
+
+ private:
+  struct Node {
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+    bool is_leaf;
+    int count = 0;  // Keys in use.
+  };
+
+  struct Leaf : Node {
+    Leaf() : Node(true) {}
+    uint64_t keys[kLeafSlots];
+    Value values[kLeafSlots];
+    Leaf* next = nullptr;
+  };
+
+  struct Inner : Node {
+    Inner() : Node(false) {}
+    uint64_t keys[kInnerSlots];
+    Node* children[kInnerSlots + 1] = {};
+  };
+
+  struct SplitResult {
+    uint64_t separator = 0;
+    Node* new_node = nullptr;
+  };
+
+  /// First index with keys[i] >= key.
+  static int LowerBound(const uint64_t* keys, int count, uint64_t key) {
+    int lo = 0;
+    int hi = count;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (keys[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First index with keys[i] > key.
+  static int UpperBound(const uint64_t* keys, int count, uint64_t key) {
+    int lo = 0;
+    int hi = count;
+    while (lo < hi) {
+      const int mid = (lo + hi) / 2;
+      if (keys[mid] <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// Recursive insert; fills `*split` if `node` split.
+  Value* InsertImpl(Node* node, uint64_t key, SplitResult* split) {
+    split->new_node = nullptr;
+    Tracer::OnAccess(node, node->is_leaf ? sizeof(Leaf) : sizeof(Inner));
+    if (node->is_leaf) {
+      Leaf* leaf = static_cast<Leaf*>(node);
+      int pos = LowerBound(leaf->keys, leaf->count, key);
+      if (pos < leaf->count && leaf->keys[pos] == key) {
+        return &leaf->values[pos];
+      }
+      if (leaf->count == kLeafSlots) {
+        // Split the leaf in half, keep the leaf chain intact.
+        Leaf* right = NewLeaf();
+        const int half = kLeafSlots / 2;
+        for (int i = half; i < kLeafSlots; ++i) {
+          right->keys[i - half] = leaf->keys[i];
+          right->values[i - half] = std::move(leaf->values[i]);
+        }
+        right->count = kLeafSlots - half;
+        leaf->count = half;
+        right->next = leaf->next;
+        leaf->next = right;
+        split->separator = right->keys[0];
+        split->new_node = right;
+        if (key >= right->keys[0]) {
+          leaf = right;
+          pos -= half;
+        }
+      }
+      for (int i = leaf->count; i > pos; --i) {
+        leaf->keys[i] = leaf->keys[i - 1];
+        leaf->values[i] = std::move(leaf->values[i - 1]);
+      }
+      leaf->keys[pos] = key;
+      leaf->values[pos] = Value{};
+      ++leaf->count;
+      ++size_;
+      return &leaf->values[pos];
+    }
+
+    Inner* inner = static_cast<Inner*>(node);
+    const int child_pos = UpperBound(inner->keys, inner->count, key);
+    SplitResult child_split;
+    Value* value = InsertImpl(inner->children[child_pos], key, &child_split);
+    if (child_split.new_node == nullptr) return value;
+
+    // Insert the new separator/child into this inner node.
+    uint64_t sep = child_split.separator;
+    Node* new_child = child_split.new_node;
+    int pos = child_pos;
+    if (inner->count == kInnerSlots) {
+      Inner* right = NewInner();
+      const int half = kInnerSlots / 2;
+      // Separator promoted to the parent.
+      split->separator = inner->keys[half];
+      for (int i = half + 1; i < kInnerSlots; ++i) {
+        right->keys[i - half - 1] = inner->keys[i];
+        right->children[i - half - 1] = inner->children[i];
+      }
+      right->children[kInnerSlots - half - 1] = inner->children[kInnerSlots];
+      right->count = kInnerSlots - half - 1;
+      inner->count = half;
+      split->new_node = right;
+      if (pos > half) {
+        inner = right;
+        pos -= half + 1;
+      } else if (pos == half && sep >= split->separator) {
+        inner = right;
+        pos = 0;
+      }
+    }
+    for (int i = inner->count; i > pos; --i) {
+      inner->keys[i] = inner->keys[i - 1];
+      inner->children[i + 1] = inner->children[i];
+    }
+    inner->keys[pos] = sep;
+    inner->children[pos + 1] = new_child;
+    ++inner->count;
+    return value;
+  }
+
+  Leaf* NewLeaf() {
+    memory_bytes_ += sizeof(Leaf);
+    return new Leaf();
+  }
+
+  Inner* NewInner() {
+    memory_bytes_ += sizeof(Inner);
+    return new Inner();
+  }
+
+  static size_t CountInner(const Node* node) {
+    if (node == nullptr || node->is_leaf) return 0;
+    const Inner* inner = static_cast<const Inner*>(node);
+    size_t count = 1;
+    for (int i = 0; i <= inner->count; ++i) {
+      count += CountInner(inner->children[i]);
+    }
+    return count;
+  }
+
+  void DestroyNode(Node* node) {
+    if (node == nullptr) return;
+    if (node->is_leaf) {
+      delete static_cast<Leaf*>(node);
+      return;
+    }
+    Inner* inner = static_cast<Inner*>(node);
+    for (int i = 0; i <= inner->count; ++i) DestroyNode(inner->children[i]);
+    delete inner;
+  }
+
+  Node* root_ = nullptr;
+  Leaf* first_leaf_ = nullptr;
+  size_t size_ = 0;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_TREE_BTREE_H_

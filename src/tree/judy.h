@@ -1,0 +1,521 @@
+// Judy (paper Section 3.3.4; Baskins): a 256-way radix tree tuned for memory
+// frugality. This analogue reproduces Judy's signature techniques on 64-bit
+// keys:
+//   * branch compression — small branches are sorted linear arrays (up to 7
+//     children, one cache line); dense branches are 256-bit bitmaps with a
+//     packed, exact-fit child array;
+//   * leaf compression — the final key byte is resolved in a bitmap leaf
+//     (256-bit bitmap + packed value array) instead of another branch level;
+//   * skipped decoding ("narrow pointers") — runs of single-child branches
+//     are collapsed into a per-node skip prefix.
+// All packed arrays are reallocated to exact size on insert, so the
+// structure grows with the data and needs no pre-allocation.
+//
+// Insert-only, not thread-safe.
+
+#ifndef MEMAGG_TREE_JUDY_H_
+#define MEMAGG_TREE_JUDY_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+/// Judy-style radix tree from uint64_t keys to Value. `Tracer` reports every
+/// node and packed-array access (see util/tracer.h).
+template <typename Value, typename Tracer = NullTracer>
+class JudyArray {
+ public:
+  JudyArray() = default;
+  ~JudyArray() { DestroyNode(root_); }
+
+  JudyArray(const JudyArray&) = delete;
+  JudyArray& operator=(const JudyArray&) = delete;
+
+  /// Returns the value slot for `key`, default-constructing it on first use.
+  Value& GetOrInsert(uint64_t key) {
+    uint8_t bytes[8];
+    EncodeKey(key, bytes);
+    return InsertImpl(&root_, bytes, 0, key);
+  }
+
+  /// Returns the value for `key` or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    uint8_t bytes[8];
+    EncodeKey(key, bytes);
+    const Node* node = root_;
+    size_t depth = 0;
+    while (node != nullptr) {
+      Tracer::OnAccess(node, NodeBytes(node));
+      for (int i = 0; i < node->skip_len; ++i) {
+        if (node->skip[i] != bytes[depth + i]) return nullptr;
+      }
+      depth += node->skip_len;
+      const uint8_t byte = bytes[depth];
+      switch (node->type) {
+        case NodeType::kBranchLinear: {
+          const BranchLinear* n = static_cast<const BranchLinear*>(node);
+          const Node* child = nullptr;
+          for (int i = 0; i < n->count; ++i) {
+            if (n->bytes[i] == byte) {
+              child = n->children[i];
+              break;
+            }
+          }
+          if (child == nullptr) return nullptr;
+          node = child;
+          ++depth;
+          break;
+        }
+        case NodeType::kBranchBitmap: {
+          const BranchBitmap* n = static_cast<const BranchBitmap*>(node);
+          if (!n->Test(byte)) return nullptr;
+          Tracer::OnAccess(&n->children[n->Rank(byte)], sizeof(Node*));
+          node = n->children[n->Rank(byte)];
+          ++depth;
+          break;
+        }
+        case NodeType::kLeafBitmap: {
+          const LeafBitmap* n = static_cast<const LeafBitmap*>(node);
+          if (!n->Test(byte)) return nullptr;
+          Tracer::OnAccess(&n->values[n->Rank(byte)], sizeof(Value));
+          return &n->values[n->Rank(byte)];
+        }
+      }
+    }
+    return nullptr;
+  }
+
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(static_cast<const JudyArray*>(this)->Find(key));
+  }
+
+  size_t size() const { return size_; }
+
+  /// Invokes fn(key, value) in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    ForEachImpl(root_, 0, 0, fn);
+  }
+
+  /// Invokes fn(key, value) in ascending key order for keys in [lo, hi].
+  template <typename Fn>
+  void ForEachInRange(uint64_t lo, uint64_t hi, Fn fn) const {
+    if (lo > hi) return;
+    RangeImpl(root_, 0, 0, lo, hi, fn);
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Node-population diagnostics, computed on demand; shows how much of the
+  /// structure uses linear vs bitmap compression and how many key bytes the
+  /// narrow-pointer skips absorb.
+  struct NodeStats {
+    size_t linear_branches = 0;
+    size_t bitmap_branches = 0;
+    size_t bitmap_leaves = 0;
+    size_t total_skip_bytes = 0;
+  };
+
+  NodeStats ComputeNodeStats() const {
+    NodeStats stats;
+    CollectNodeStats(root_, stats);
+    return stats;
+  }
+
+ private:
+  enum class NodeType : uint8_t { kBranchLinear, kBranchBitmap, kLeafBitmap };
+
+  static constexpr int kLinearMax = 7;
+  static constexpr int kMaxSkip = 6;
+
+  struct Node {
+    explicit Node(NodeType t) : type(t) {}
+    NodeType type;
+    uint8_t skip_len = 0;
+    uint8_t skip[kMaxSkip] = {};
+  };
+
+  struct BranchLinear : Node {
+    BranchLinear() : Node(NodeType::kBranchLinear) {}
+    uint8_t count = 0;
+    uint8_t bytes[kLinearMax] = {};
+    Node* children[kLinearMax] = {};
+  };
+
+  struct Bitmap256 {
+    uint64_t words[4] = {};
+
+    bool Test(uint8_t b) const { return (words[b >> 6] >> (b & 63)) & 1; }
+
+    void Set(uint8_t b) { words[b >> 6] |= 1ULL << (b & 63); }
+
+    /// Number of set bits strictly below b.
+    int Rank(uint8_t b) const {
+      int rank = 0;
+      for (int w = 0; w < (b >> 6); ++w) rank += std::popcount(words[w]);
+      rank += std::popcount(words[b >> 6] & ((1ULL << (b & 63)) - 1));
+      return rank;
+    }
+
+    int Count() const {
+      return std::popcount(words[0]) + std::popcount(words[1]) +
+             std::popcount(words[2]) + std::popcount(words[3]);
+    }
+  };
+
+  struct BranchBitmap : Node {
+    BranchBitmap() : Node(NodeType::kBranchBitmap) {}
+    Bitmap256 bitmap;
+    Node** children = nullptr;  // Packed, exact-fit.
+
+    bool Test(uint8_t b) const { return bitmap.Test(b); }
+    int Rank(uint8_t b) const { return bitmap.Rank(b); }
+  };
+
+  struct LeafBitmap : Node {
+    LeafBitmap() : Node(NodeType::kLeafBitmap) {}
+    Bitmap256 bitmap;
+    Value* values = nullptr;  // Packed, exact-fit.
+
+    bool Test(uint8_t b) const { return bitmap.Test(b); }
+    int Rank(uint8_t b) const { return bitmap.Rank(b); }
+  };
+
+  static void EncodeKey(uint64_t key, uint8_t out[8]) {
+    for (int i = 0; i < 8; ++i) {
+      out[i] = static_cast<uint8_t>(key >> (56 - 8 * i));
+    }
+  }
+
+  /// Inserts along the path for `bytes`, creating nodes as needed. `depth`
+  /// counts consumed key bytes.
+  static size_t NodeBytes(const Node* node) {
+    switch (node->type) {
+      case NodeType::kBranchLinear:
+        return sizeof(BranchLinear);
+      case NodeType::kBranchBitmap:
+        return sizeof(BranchBitmap);
+      case NodeType::kLeafBitmap:
+        return sizeof(LeafBitmap);
+    }
+    return sizeof(Node);
+  }
+
+  Value& InsertImpl(Node** slot, const uint8_t bytes[8], size_t depth,
+                    uint64_t key) {
+    Node* node = *slot;
+    if (node != nullptr) Tracer::OnAccess(node, NodeBytes(node));
+    if (node == nullptr) {
+      // Fresh path: collapse everything up to the final byte into the skip
+      // prefix of a new bitmap leaf (narrow-pointer compression). The final
+      // key byte indexes the leaf bitmap.
+      size_t remaining = 7 - depth;  // Bytes before the final one.
+      if (remaining <= kMaxSkip) {
+        LeafBitmap* leaf = NewLeaf();
+        leaf->skip_len = static_cast<uint8_t>(remaining);
+        std::memcpy(leaf->skip, bytes + depth, remaining);
+        *slot = leaf;
+        return LeafInsert(leaf, bytes[7], key);
+      }
+      // Path longer than the skip field: chain one linear branch.
+      BranchLinear* branch = NewBranchLinear();
+      branch->skip_len = kMaxSkip;
+      std::memcpy(branch->skip, bytes + depth, kMaxSkip);
+      *slot = branch;
+      depth += kMaxSkip;
+      branch->count = 1;
+      branch->bytes[0] = bytes[depth];
+      branch->children[0] = nullptr;
+      return InsertImpl(&branch->children[0], bytes, depth + 1, key);
+    }
+
+    // Check the skip prefix; on mismatch, split this node.
+    for (int i = 0; i < node->skip_len; ++i) {
+      if (node->skip[i] != bytes[depth + i]) {
+        return SplitSkip(slot, bytes, depth, static_cast<size_t>(i), key);
+      }
+    }
+    depth += node->skip_len;
+    const uint8_t byte = bytes[depth];
+
+    switch (node->type) {
+      case NodeType::kBranchLinear: {
+        BranchLinear* n = static_cast<BranchLinear*>(node);
+        for (int i = 0; i < n->count; ++i) {
+          if (n->bytes[i] == byte) {
+            return InsertImpl(&n->children[i], bytes, depth + 1, key);
+          }
+        }
+        if (n->count < kLinearMax) {
+          int pos = 0;
+          while (pos < n->count && n->bytes[pos] < byte) ++pos;
+          for (int i = n->count; i > pos; --i) {
+            n->bytes[i] = n->bytes[i - 1];
+            n->children[i] = n->children[i - 1];
+          }
+          n->bytes[pos] = byte;
+          n->children[pos] = nullptr;
+          ++n->count;
+          return InsertImpl(&n->children[pos], bytes, depth + 1, key);
+        }
+        // Grow the linear branch into a bitmap branch.
+        BranchBitmap* grown = NewBranchBitmap();
+        grown->skip_len = n->skip_len;
+        std::memcpy(grown->skip, n->skip, n->skip_len);
+        grown->children = AllocChildren(kLinearMax);
+        for (int i = 0; i < kLinearMax; ++i) {
+          grown->bitmap.Set(n->bytes[i]);
+        }
+        // Packed order must follow byte order; linear node is sorted.
+        for (int i = 0; i < kLinearMax; ++i) {
+          grown->children[i] = n->children[i];
+        }
+        FreeBranchLinear(n);
+        *slot = grown;
+        return InsertImpl(slot, bytes, depth - grown->skip_len, key);
+      }
+      case NodeType::kBranchBitmap: {
+        BranchBitmap* n = static_cast<BranchBitmap*>(node);
+        const int rank = n->Rank(byte);
+        if (!n->Test(byte)) {
+          const int count = n->bitmap.Count();
+          Node** grown = AllocChildren(count + 1);
+          std::memcpy(grown, n->children, sizeof(Node*) * rank);
+          grown[rank] = nullptr;
+          std::memcpy(grown + rank + 1, n->children + rank,
+                      sizeof(Node*) * (count - rank));
+          FreeChildren(n->children, count);
+          n->children = grown;
+          n->bitmap.Set(byte);
+          Tracer::OnAccess(grown, sizeof(Node*) * (count + 1));
+        }
+        return InsertImpl(&n->children[rank], bytes, depth + 1, key);
+      }
+      case NodeType::kLeafBitmap: {
+        LeafBitmap* n = static_cast<LeafBitmap*>(node);
+        return LeafInsert(n, byte, key);
+      }
+    }
+    MEMAGG_CHECK(false);
+    return *static_cast<Value*>(nullptr);
+  }
+
+  /// Splits `*slot`'s skip prefix at `split_at` (where it diverges from the
+  /// inserted key) by interposing a linear branch.
+  Value& SplitSkip(Node** slot, const uint8_t bytes[8], size_t depth,
+                   size_t split_at, uint64_t key) {
+    Node* node = *slot;
+    BranchLinear* branch = NewBranchLinear();
+    branch->skip_len = static_cast<uint8_t>(split_at);
+    std::memcpy(branch->skip, node->skip, split_at);
+    const uint8_t node_byte = node->skip[split_at];
+    // The existing node keeps the tail of its skip prefix.
+    const uint8_t tail_len =
+        static_cast<uint8_t>(node->skip_len - split_at - 1);
+    std::memmove(node->skip, node->skip + split_at + 1, tail_len);
+    node->skip_len = tail_len;
+    const uint8_t new_byte = bytes[depth + split_at];
+    MEMAGG_DCHECK(node_byte != new_byte);
+    const int node_first = node_byte < new_byte ? 0 : 1;
+    branch->count = 2;
+    branch->bytes[node_first] = node_byte;
+    branch->children[node_first] = node;
+    branch->bytes[1 - node_first] = new_byte;
+    branch->children[1 - node_first] = nullptr;
+    *slot = branch;
+    return InsertImpl(&branch->children[1 - node_first], bytes,
+                      depth + split_at + 1, key);
+  }
+
+  /// Inserts `byte` into a bitmap leaf, keeping the packed value array
+  /// exact-fit and in byte order.
+  Value& LeafInsert(LeafBitmap* leaf, uint8_t byte, uint64_t /*key*/) {
+    const int rank = leaf->Rank(byte);
+    if (leaf->Test(byte)) return leaf->values[rank];
+    const int count = leaf->bitmap.Count();
+    Value* grown =
+        static_cast<Value*>(::operator new(sizeof(Value) * (count + 1)));
+    for (int i = 0; i < rank; ++i) {
+      new (&grown[i]) Value(std::move(leaf->values[i]));
+    }
+    new (&grown[rank]) Value();
+    for (int i = rank; i < count; ++i) {
+      new (&grown[i + 1]) Value(std::move(leaf->values[i]));
+    }
+    for (int i = 0; i < count; ++i) leaf->values[i].~Value();
+    ::operator delete(leaf->values);
+    leaf->values = grown;
+    leaf->bitmap.Set(byte);
+    ++size_;
+    memory_bytes_ += sizeof(Value);
+    Tracer::OnAccess(grown, sizeof(Value) * (count + 1));
+    return leaf->values[rank];
+  }
+
+  template <typename Fn>
+  void ForEachImpl(const Node* node, uint64_t acc, size_t depth, Fn& fn) const {
+    RangeImpl(node, acc, depth, 0, ~0ULL, fn);
+  }
+
+  template <typename Fn>
+  void RangeImpl(const Node* node, uint64_t acc, size_t depth, uint64_t lo,
+                 uint64_t hi, Fn& fn) const {
+    if (node == nullptr) return;
+    Tracer::OnAccess(node, NodeBytes(node));
+    for (int i = 0; i < node->skip_len; ++i) {
+      acc |= static_cast<uint64_t>(node->skip[i]) << (56 - 8 * depth);
+      ++depth;
+    }
+    if (!SubtreeOverlaps(acc, depth, lo, hi)) return;
+    switch (node->type) {
+      case NodeType::kBranchLinear: {
+        const BranchLinear* n = static_cast<const BranchLinear*>(node);
+        for (int i = 0; i < n->count; ++i) {
+          const uint64_t child_acc =
+              acc | (static_cast<uint64_t>(n->bytes[i]) << (56 - 8 * depth));
+          if (SubtreeOverlaps(child_acc, depth + 1, lo, hi)) {
+            RangeImpl(n->children[i], child_acc, depth + 1, lo, hi, fn);
+          }
+        }
+        return;
+      }
+      case NodeType::kBranchBitmap: {
+        const BranchBitmap* n = static_cast<const BranchBitmap*>(node);
+        int rank = 0;
+        for (int b = 0; b < 256; ++b) {
+          if (!n->Test(static_cast<uint8_t>(b))) continue;
+          const uint64_t child_acc =
+              acc | (static_cast<uint64_t>(b) << (56 - 8 * depth));
+          if (SubtreeOverlaps(child_acc, depth + 1, lo, hi)) {
+            RangeImpl(n->children[rank], child_acc, depth + 1, lo, hi, fn);
+          }
+          ++rank;
+        }
+        return;
+      }
+      case NodeType::kLeafBitmap: {
+        const LeafBitmap* n = static_cast<const LeafBitmap*>(node);
+        int rank = 0;
+        for (int b = 0; b < 256; ++b) {
+          if (!n->Test(static_cast<uint8_t>(b))) continue;
+          const uint64_t full_key = acc | static_cast<uint64_t>(b);
+          if (full_key >= lo && full_key <= hi) {
+            fn(full_key, n->values[rank]);
+          }
+          ++rank;
+        }
+        return;
+      }
+    }
+  }
+
+  static bool SubtreeOverlaps(uint64_t acc, size_t depth, uint64_t lo,
+                              uint64_t hi) {
+    if (depth == 0) return true;
+    if (depth >= 8) return acc >= lo && acc <= hi;
+    const uint64_t span = (1ULL << (8 * (8 - depth))) - 1;
+    return (acc | span) >= lo && acc <= hi;
+  }
+
+  LeafBitmap* NewLeaf() {
+    memory_bytes_ += sizeof(LeafBitmap);
+    return new LeafBitmap();
+  }
+
+  BranchLinear* NewBranchLinear() {
+    memory_bytes_ += sizeof(BranchLinear);
+    return new BranchLinear();
+  }
+
+  BranchBitmap* NewBranchBitmap() {
+    memory_bytes_ += sizeof(BranchBitmap);
+    return new BranchBitmap();
+  }
+
+  void FreeBranchLinear(BranchLinear* n) {
+    memory_bytes_ -= sizeof(BranchLinear);
+    delete n;
+  }
+
+  Node** AllocChildren(int count) {
+    memory_bytes_ += sizeof(Node*) * static_cast<size_t>(count);
+    return static_cast<Node**>(::operator new(sizeof(Node*) * count));
+  }
+
+  void FreeChildren(Node** children, int count) {
+    memory_bytes_ -= sizeof(Node*) * static_cast<size_t>(count);
+    ::operator delete(children);
+  }
+
+  static void CollectNodeStats(const Node* node, NodeStats& stats) {
+    if (node == nullptr) return;
+    stats.total_skip_bytes += node->skip_len;
+    switch (node->type) {
+      case NodeType::kBranchLinear: {
+        ++stats.linear_branches;
+        const BranchLinear* n = static_cast<const BranchLinear*>(node);
+        for (int i = 0; i < n->count; ++i) {
+          CollectNodeStats(n->children[i], stats);
+        }
+        return;
+      }
+      case NodeType::kBranchBitmap: {
+        ++stats.bitmap_branches;
+        const BranchBitmap* n = static_cast<const BranchBitmap*>(node);
+        const int count = n->bitmap.Count();
+        for (int i = 0; i < count; ++i) {
+          CollectNodeStats(n->children[i], stats);
+        }
+        return;
+      }
+      case NodeType::kLeafBitmap:
+        ++stats.bitmap_leaves;
+        return;
+    }
+  }
+
+  void DestroyNode(Node* node) {
+    if (node == nullptr) return;
+    switch (node->type) {
+      case NodeType::kBranchLinear: {
+        BranchLinear* n = static_cast<BranchLinear*>(node);
+        for (int i = 0; i < n->count; ++i) DestroyNode(n->children[i]);
+        delete n;
+        return;
+      }
+      case NodeType::kBranchBitmap: {
+        BranchBitmap* n = static_cast<BranchBitmap*>(node);
+        const int count = n->bitmap.Count();
+        for (int i = 0; i < count; ++i) DestroyNode(n->children[i]);
+        ::operator delete(n->children);
+        delete n;
+        return;
+      }
+      case NodeType::kLeafBitmap: {
+        LeafBitmap* n = static_cast<LeafBitmap*>(node);
+        const int count = n->bitmap.Count();
+        for (int i = 0; i < count; ++i) n->values[i].~Value();
+        ::operator delete(n->values);
+        delete n;
+        return;
+      }
+    }
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t memory_bytes_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_TREE_JUDY_H_

@@ -1,0 +1,268 @@
+// Ttree (paper Section 3.3.2; Lehman & Carey, VLDB 1986): an AVL-balanced
+// binary tree whose nodes each hold a sorted array of entries. Designed for
+// 1980s main-memory systems; the paper's microbenchmark (Figure 3) shows it
+// is no longer competitive on modern cache hierarchies, which this
+// implementation lets you reproduce.
+//
+// Insert-only, not thread-safe.
+
+#ifndef MEMAGG_TREE_TTREE_H_
+#define MEMAGG_TREE_TTREE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+#include "util/macros.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+/// T-tree from uint64_t keys to Value. `Tracer` reports every node visited
+/// (see util/tracer.h).
+template <typename Value, typename Tracer = NullTracer>
+class TTree {
+ public:
+  /// Entries per node (Lehman & Carey found moderate node sizes best).
+  static constexpr int kNodeCapacity = 32;
+
+  TTree() = default;
+  ~TTree() { DestroyNode(root_); }
+
+  TTree(const TTree&) = delete;
+  TTree& operator=(const TTree&) = delete;
+
+  /// Returns the value slot for `key`, default-constructing it on first use.
+  Value& GetOrInsert(uint64_t key) {
+    Value* result = nullptr;
+    root_ = InsertRec(root_, key, &result);
+    MEMAGG_DCHECK(result != nullptr);
+    return *result;
+  }
+
+  /// Returns the value for `key` or nullptr if absent.
+  const Value* Find(uint64_t key) const {
+    const Node* node = root_;
+    while (node != nullptr) {
+      Tracer::OnAccess(node, sizeof(Node));
+      if (key < node->keys[0]) {
+        node = node->left;
+      } else if (key > node->keys[node->count - 1]) {
+        node = node->right;
+      } else {
+        const int pos = LowerBound(node, key);
+        if (pos < node->count && node->keys[pos] == key) {
+          return &node->values[pos];
+        }
+        return nullptr;
+      }
+    }
+    return nullptr;
+  }
+
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(static_cast<const TTree*>(this)->Find(key));
+  }
+
+  size_t size() const { return size_; }
+
+  /// Invokes fn(key, value) in ascending key order.
+  template <typename Fn>
+  void ForEach(Fn fn) const {
+    ForEachRec(root_, fn);
+  }
+
+  /// Invokes fn(key, value) in ascending key order for keys in [lo, hi].
+  template <typename Fn>
+  void ForEachInRange(uint64_t lo, uint64_t hi, Fn fn) const {
+    if (lo <= hi) RangeRec(root_, lo, hi, fn);
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryBytes() const { return num_nodes_ * sizeof(Node); }
+
+  /// Shape diagnostics, computed on demand. AVL balance keeps
+  /// height <= ~1.44 log2(num_nodes).
+  struct TreeStats {
+    size_t nodes = 0;
+    size_t height = 0;
+    double node_fill = 0.0;  ///< Mean occupied fraction of node arrays.
+  };
+
+  TreeStats ComputeTreeStats() const {
+    TreeStats stats;
+    stats.nodes = num_nodes_;
+    stats.height = static_cast<size_t>(Height(root_));
+    stats.node_fill =
+        num_nodes_ == 0
+            ? 0.0
+            : static_cast<double>(size_) /
+                  static_cast<double>(num_nodes_ * kNodeCapacity);
+    return stats;
+  }
+
+ private:
+  struct Node {
+    uint64_t keys[kNodeCapacity];
+    Value values[kNodeCapacity];
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int count = 0;
+    int height = 1;
+  };
+
+  static int LowerBound(const Node* node, uint64_t key) {
+    return static_cast<int>(
+        std::lower_bound(node->keys, node->keys + node->count, key) -
+        node->keys);
+  }
+
+  static int Height(const Node* node) {
+    return node == nullptr ? 0 : node->height;
+  }
+
+  static void UpdateHeight(Node* node) {
+    node->height = 1 + std::max(Height(node->left), Height(node->right));
+  }
+
+  static Node* RotateRight(Node* node) {
+    Node* pivot = node->left;
+    node->left = pivot->right;
+    pivot->right = node;
+    UpdateHeight(node);
+    UpdateHeight(pivot);
+    return pivot;
+  }
+
+  static Node* RotateLeft(Node* node) {
+    Node* pivot = node->right;
+    node->right = pivot->left;
+    pivot->left = node;
+    UpdateHeight(node);
+    UpdateHeight(pivot);
+    return pivot;
+  }
+
+  static Node* Rebalance(Node* node) {
+    UpdateHeight(node);
+    const int balance = Height(node->left) - Height(node->right);
+    if (balance > 1) {
+      if (Height(node->left->left) < Height(node->left->right)) {
+        node->left = RotateLeft(node->left);
+      }
+      return RotateRight(node);
+    }
+    if (balance < -1) {
+      if (Height(node->right->right) < Height(node->right->left)) {
+        node->right = RotateRight(node->right);
+      }
+      return RotateLeft(node);
+    }
+    return node;
+  }
+
+  Node* NewNode(uint64_t key, Value** result) {
+    Node* node = new Node();
+    node->keys[0] = key;
+    node->values[0] = Value{};
+    node->count = 1;
+    ++num_nodes_;
+    ++size_;
+    *result = &node->values[0];
+    return node;
+  }
+
+  /// Inserts `key` into the entry array of `node` at sorted position `pos`.
+  Value* InsertIntoNode(Node* node, int pos, uint64_t key) {
+    for (int i = node->count; i > pos; --i) {
+      node->keys[i] = node->keys[i - 1];
+      node->values[i] = std::move(node->values[i - 1]);
+    }
+    node->keys[pos] = key;
+    node->values[pos] = Value{};
+    ++node->count;
+    ++size_;
+    return &node->values[pos];
+  }
+
+  Node* InsertRec(Node* node, uint64_t key, Value** result) {
+    if (node == nullptr) return NewNode(key, result);
+    Tracer::OnAccess(node, sizeof(Node));
+    if (key < node->keys[0]) {
+      // Below this node's range: absorb if this is the boundary leaf with
+      // room, otherwise descend left.
+      if (node->left == nullptr && node->count < kNodeCapacity) {
+        *result = InsertIntoNode(node, 0, key);
+        return node;
+      }
+      node->left = InsertRec(node->left, key, result);
+      return Rebalance(node);
+    }
+    if (key > node->keys[node->count - 1]) {
+      if (node->right == nullptr && node->count < kNodeCapacity) {
+        *result = InsertIntoNode(node, node->count, key);
+        return node;
+      }
+      node->right = InsertRec(node->right, key, result);
+      return Rebalance(node);
+    }
+    // Bounding node.
+    const int pos = LowerBound(node, key);
+    if (pos < node->count && node->keys[pos] == key) {
+      *result = &node->values[pos];
+      return node;
+    }
+    if (node->count < kNodeCapacity) {
+      *result = InsertIntoNode(node, pos, key);
+      return node;
+    }
+    // Node full: displace the current maximum into the right subtree to make
+    // room (the classic T-tree overflow rule).
+    uint64_t displaced_key = node->keys[node->count - 1];
+    Value displaced_value = std::move(node->values[node->count - 1]);
+    --node->count;
+    --size_;  // Re-counted when the displaced entry is reinserted.
+    *result = InsertIntoNode(node, pos, key);
+    Value* displaced_slot = nullptr;
+    node->right = InsertRec(node->right, displaced_key, &displaced_slot);
+    *displaced_slot = std::move(displaced_value);
+    return Rebalance(node);
+  }
+
+  template <typename Fn>
+  static void ForEachRec(const Node* node, Fn& fn) {
+    if (node == nullptr) return;
+    Tracer::OnAccess(node, sizeof(Node));
+    ForEachRec(node->left, fn);
+    for (int i = 0; i < node->count; ++i) fn(node->keys[i], node->values[i]);
+    ForEachRec(node->right, fn);
+  }
+
+  template <typename Fn>
+  static void RangeRec(const Node* node, uint64_t lo, uint64_t hi, Fn& fn) {
+    if (node == nullptr) return;
+    Tracer::OnAccess(node, sizeof(Node));
+    if (lo < node->keys[0]) RangeRec(node->left, lo, hi, fn);
+    for (int i = 0; i < node->count; ++i) {
+      if (node->keys[i] > hi) return;
+      if (node->keys[i] >= lo) fn(node->keys[i], node->values[i]);
+    }
+    if (hi > node->keys[node->count - 1]) RangeRec(node->right, lo, hi, fn);
+  }
+
+  void DestroyNode(Node* node) {
+    if (node == nullptr) return;
+    DestroyNode(node->left);
+    DestroyNode(node->right);
+    delete node;
+  }
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+  size_t num_nodes_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_TREE_TTREE_H_

@@ -1,0 +1,30 @@
+// Bit-manipulation helpers used by the hash tables and radix sorts.
+
+#ifndef MEMAGG_UTIL_BITS_H_
+#define MEMAGG_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace memagg {
+
+/// Returns the smallest power of two >= `v` (and >= 1). `v` must be
+/// representable, i.e. <= 2^63.
+inline uint64_t NextPowerOfTwo(uint64_t v) {
+  return v <= 1 ? 1 : std::bit_ceil(v);
+}
+
+/// Returns floor(log2(v)); `v` must be non-zero.
+inline int Log2Floor(uint64_t v) { return 63 - std::countl_zero(v); }
+
+/// Returns ceil(log2(v)); `v` must be non-zero.
+inline int Log2Ceil(uint64_t v) {
+  return v <= 1 ? 0 : 64 - std::countl_zero(v - 1);
+}
+
+/// True if `v` is a power of two (and non-zero).
+inline bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_BITS_H_

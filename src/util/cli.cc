@@ -1,0 +1,90 @@
+#include "util/cli.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+int64_t ParseHumanInt(const std::string& text) {
+  MEMAGG_CHECK(!text.empty());
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  double multiplier = 1.0;
+  if (end != nullptr && *end != '\0') {
+    switch (*end) {
+      case 'k':
+      case 'K':
+        multiplier = 1e3;
+        break;
+      case 'm':
+      case 'M':
+        multiplier = 1e6;
+        break;
+      case 'g':
+      case 'G':
+        multiplier = 1e9;
+        break;
+      default:
+        break;
+    }
+  }
+  return static_cast<int64_t>(std::llround(value * multiplier));
+}
+
+int64_t CliFlags::GetInt(const std::string& key, int64_t default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : ParseHumanInt(it->second);
+}
+
+double CliFlags::GetDouble(const std::string& key, double default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliFlags::GetString(const std::string& key,
+                                const std::string& default_value) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+bool CliFlags::GetBool(const std::string& key, bool default_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> CliFlags::GetList(
+    const std::string& key, const std::vector<std::string>& defaults) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return defaults;
+  std::vector<std::string> items;
+  std::string current;
+  for (char c : it->second) {
+    if (c == ',') {
+      if (!current.empty()) items.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) items.push_back(current);
+  return items;
+}
+
+}  // namespace memagg

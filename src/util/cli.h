@@ -1,0 +1,47 @@
+// Minimal --key=value command-line flag parser for the benchmark binaries.
+//
+// All bench binaries accept the same style of flags, e.g.
+//   bench_vector_q1 --records=8000000 --datasets=Rseq,Zipf --threads=4
+
+#ifndef MEMAGG_UTIL_CLI_H_
+#define MEMAGG_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace memagg {
+
+/// Parses `--key=value` (and bare `--key`, treated as "true") arguments.
+class CliFlags {
+ public:
+  CliFlags(int argc, char** argv);
+
+  /// Integer flag with default. Accepts scientific shorthands: "4e6", "10M",
+  /// "100k".
+  int64_t GetInt(const std::string& key, int64_t default_value) const;
+
+  double GetDouble(const std::string& key, double default_value) const;
+
+  std::string GetString(const std::string& key,
+                        const std::string& default_value) const;
+
+  bool GetBool(const std::string& key, bool default_value) const;
+
+  /// Comma-separated list flag, e.g. --datasets=Rseq,Zipf.
+  std::vector<std::string> GetList(
+      const std::string& key, const std::vector<std::string>& defaults) const;
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Parses "4e6", "10M", "100k", "1G", or plain digits into an integer.
+int64_t ParseHumanInt(const std::string& text);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_CLI_H_

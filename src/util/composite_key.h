@@ -1,0 +1,66 @@
+// Composite group-by keys.
+//
+// The paper's cardinality discussion (Section 3.2) notes that group-by
+// clauses often cover several columns, which makes cardinality estimation
+// hard. memagg operators take a single uint64_t key, so multi-column
+// group-bys are expressed by packing the columns into one key. Packing is
+// order-preserving (lexicographic column order == numeric key order), so
+// tree/sort operators still emit groups in the natural multi-column order
+// and range conditions on the leading column translate to key ranges.
+
+#ifndef MEMAGG_UTIL_COMPOSITE_KEY_H_
+#define MEMAGG_UTIL_COMPOSITE_KEY_H_
+
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+/// Packs two 32-bit columns; `major` compares first.
+inline uint64_t PackKey2(uint32_t major, uint32_t minor) {
+  return (static_cast<uint64_t>(major) << 32) | minor;
+}
+
+/// Inverse of PackKey2.
+inline void UnpackKey2(uint64_t key, uint32_t* major, uint32_t* minor) {
+  *major = static_cast<uint32_t>(key >> 32);
+  *minor = static_cast<uint32_t>(key);
+}
+
+/// Packs four 16-bit columns; earlier arguments compare first.
+inline uint64_t PackKey4(uint16_t a, uint16_t b, uint16_t c, uint16_t d) {
+  return (static_cast<uint64_t>(a) << 48) | (static_cast<uint64_t>(b) << 32) |
+         (static_cast<uint64_t>(c) << 16) | d;
+}
+
+/// Inverse of PackKey4.
+inline void UnpackKey4(uint64_t key, uint16_t* a, uint16_t* b, uint16_t* c,
+                       uint16_t* d) {
+  *a = static_cast<uint16_t>(key >> 48);
+  *b = static_cast<uint16_t>(key >> 32);
+  *c = static_cast<uint16_t>(key >> 16);
+  *d = static_cast<uint16_t>(key);
+}
+
+/// Packs variable-width columns: `widths_bits` must sum to <= 64 and each
+/// value must fit its width. Earlier columns compare first.
+template <int N>
+uint64_t PackKeyN(const uint64_t (&values)[N], const int (&widths_bits)[N]) {
+  uint64_t key = 0;
+  int used = 0;
+  for (int i = 0; i < N; ++i) {
+    MEMAGG_DCHECK(widths_bits[i] > 0 && widths_bits[i] <= 64);
+    MEMAGG_DCHECK(widths_bits[i] == 64 ||
+                  values[i] < (1ULL << widths_bits[i]));
+    used += widths_bits[i];
+    key = (key << widths_bits[i]) | values[i];
+  }
+  MEMAGG_DCHECK(used <= 64);
+  (void)used;
+  return key;
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_COMPOSITE_KEY_H_

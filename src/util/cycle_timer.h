@@ -1,0 +1,62 @@
+// CPU-cycle timing. The paper reports query execution times in CPU cycles
+// (billions); we use rdtsc on x86-64 and fall back to steady_clock scaled by
+// an estimated TSC frequency elsewhere.
+
+#ifndef MEMAGG_UTIL_CYCLE_TIMER_H_
+#define MEMAGG_UTIL_CYCLE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace memagg {
+
+/// Returns the current timestamp-counter value (serialized enough for
+/// before/after measurement of multi-millisecond regions).
+inline uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(_M_X64)
+  unsigned aux;
+  return __rdtscp(&aux);
+#else
+  return static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Simple start/stop cycle + wall-clock timer.
+class CycleTimer {
+ public:
+  void Start() {
+    wall_start_ = std::chrono::steady_clock::now();
+    cycle_start_ = ReadCycleCounter();
+  }
+
+  void Stop() {
+    cycle_end_ = ReadCycleCounter();
+    wall_end_ = std::chrono::steady_clock::now();
+  }
+
+  /// Elapsed cycles between Start() and Stop().
+  uint64_t ElapsedCycles() const { return cycle_end_ - cycle_start_; }
+
+  /// Elapsed wall-clock milliseconds between Start() and Stop().
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(wall_end_ - wall_start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+ private:
+  uint64_t cycle_start_ = 0;
+  uint64_t cycle_end_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::chrono::steady_clock::time_point wall_end_;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_CYCLE_TIMER_H_

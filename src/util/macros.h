@@ -1,0 +1,35 @@
+// Project-wide helper macros: contract checks and branch hints.
+//
+// memagg follows the Google C++ style rule of not using exceptions. Contract
+// violations abort the process through MEMAGG_CHECK; recoverable conditions
+// are reported through return values.
+
+#ifndef MEMAGG_UTIL_MACROS_H_
+#define MEMAGG_UTIL_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a diagnostic if `condition` is false. Enabled in all builds.
+#define MEMAGG_CHECK(condition)                                           \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "MEMAGG_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #condition);                                 \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+/// Debug-only variant of MEMAGG_CHECK; compiles to nothing under NDEBUG.
+#ifdef NDEBUG
+#define MEMAGG_DCHECK(condition) \
+  do {                           \
+  } while (0)
+#else
+#define MEMAGG_DCHECK(condition) MEMAGG_CHECK(condition)
+#endif
+
+#define MEMAGG_LIKELY(x) __builtin_expect(!!(x), 1)
+#define MEMAGG_UNLIKELY(x) __builtin_expect(!!(x), 0)
+
+#endif  // MEMAGG_UTIL_MACROS_H_

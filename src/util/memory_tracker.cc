@@ -1,0 +1,116 @@
+#include "util/memory_tracker.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__linux__)
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace memagg {
+namespace {
+
+// Parses a "<Field>: <kB> kB" line from /proc/self/status.
+uint64_t ReadStatusField(const char* field) {
+#if defined(__linux__)
+  FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t field_len = std::strlen(field);
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      std::sscanf(line + field_len + 1, "%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(file);
+  return kb * 1024;
+#else
+  (void)field;
+  return 0;
+#endif
+}
+
+}  // namespace
+
+uint64_t CurrentRssBytes() { return ReadStatusField("VmRSS"); }
+
+uint64_t PeakRssBytes() { return ReadStatusField("VmHWM"); }
+
+bool TryResetPeakRss() {
+#if defined(__linux__)
+  FILE* file = std::fopen("/proc/self/clear_refs", "w");
+  if (file == nullptr) return false;
+  const bool ok = std::fputs("5", file) >= 0;
+  std::fclose(file);
+  return ok;
+#else
+  return false;
+#endif
+}
+
+uint64_t MeasurePeakRssInChild(const std::function<uint64_t()>& workload,
+                               uint64_t* aux_out) {
+#if defined(__linux__)
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return 0;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipe_fds[0]);
+    close(pipe_fds[1]);
+    return 0;
+  }
+  if (pid == 0) {
+    // Child: run the workload, report our peak RSS, and exit without running
+    // atexit handlers (the parent owns shared state such as gtest/benchmark).
+    close(pipe_fds[0]);
+    // The child inherits the parent's VmHWM watermark; reset it so the
+    // reported peak reflects this workload, not the parent's history. If the
+    // kernel forbids clear_refs, fall back to subtracting the inherited
+    // baseline above the current RSS.
+    uint64_t inherited_overshoot = 0;
+    if (!TryResetPeakRss()) {
+      const uint64_t entry_peak = PeakRssBytes();
+      const uint64_t entry_rss = CurrentRssBytes();
+      inherited_overshoot = entry_peak > entry_rss ? entry_peak - entry_rss : 0;
+    }
+    uint64_t report[2];
+    report[1] = workload();
+    report[0] = PeakRssBytes() - inherited_overshoot;
+    ssize_t written = write(pipe_fds[1], report, sizeof(report));
+    (void)written;
+    close(pipe_fds[1]);
+    _exit(0);
+  }
+  close(pipe_fds[1]);
+  uint64_t report[2] = {0, 0};
+  const ssize_t got = read(pipe_fds[0], report, sizeof(report));
+  close(pipe_fds[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != sizeof(report) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    return 0;
+  }
+  if (aux_out != nullptr) *aux_out = report[1];
+  return report[0];
+#else
+  (void)workload;
+  (void)aux_out;
+  return 0;
+#endif
+}
+
+uint64_t MeasurePeakRssInChild(const std::function<void()>& workload) {
+  return MeasurePeakRssInChild(
+      [&workload]() -> uint64_t {
+        workload();
+        return 0;
+      },
+      nullptr);
+}
+
+}  // namespace memagg

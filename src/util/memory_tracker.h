@@ -1,0 +1,45 @@
+// Peak-memory measurement for the Table 6/7 experiments.
+//
+// The paper used `/usr/bin/time -v` (maximum resident set size). We read the
+// same kernel metric (VmHWM) in-process and, because VmHWM is monotonic per
+// process, provide a fork-based measurement helper that runs a workload in a
+// child process so each configuration gets an isolated peak.
+
+#ifndef MEMAGG_UTIL_MEMORY_TRACKER_H_
+#define MEMAGG_UTIL_MEMORY_TRACKER_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace memagg {
+
+/// Current resident set size in bytes (0 if unreadable).
+uint64_t CurrentRssBytes();
+
+/// Peak resident set size (VmHWM) in bytes (0 if unreadable).
+uint64_t PeakRssBytes();
+
+/// Attempts to reset the kernel's peak-RSS watermark for this process
+/// (Linux: write "5" to /proc/self/clear_refs). Returns true on success.
+bool TryResetPeakRss();
+
+/// Runs `workload` in a forked child process and returns the child's peak RSS
+/// in bytes, or 0 if fork/measurement failed. This gives each measured
+/// configuration an isolated, monotonic-safe peak — the in-process equivalent
+/// of the paper's per-run `/usr/bin/time -v`.
+///
+/// NOTE: the child inherits the parent's resident pages, so callers that
+/// measure several configurations should avoid large allocations between
+/// forks (use the aux-returning overload to ship results out of the child
+/// instead of recomputing them in the parent).
+uint64_t MeasurePeakRssInChild(const std::function<void()>& workload);
+
+/// Like MeasurePeakRssInChild, but the workload also returns an auxiliary
+/// value (e.g. a data-structure byte count) that is shipped back to the
+/// parent through the result pipe, stored in `*aux_out`.
+uint64_t MeasurePeakRssInChild(const std::function<uint64_t()>& workload,
+                               uint64_t* aux_out);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_MEMORY_TRACKER_H_

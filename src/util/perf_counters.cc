@@ -1,0 +1,83 @@
+#include "util/perf_counters.h"
+
+#include <cstring>
+#include <initializer_list>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace memagg {
+
+#if defined(__linux__)
+namespace {
+
+int OpenCounter(uint32_t type, uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0 /*this thread*/, -1 /*any cpu*/,
+              -1 /*no group*/, 0));
+}
+
+uint64_t ReadCounter(int fd) {
+  if (fd < 0) return 0;
+  uint64_t value = 0;
+  if (read(fd, &value, sizeof(value)) != sizeof(value)) return 0;
+  return value;
+}
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  cache_fd_ = OpenCounter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES);
+  tlb_fd_ = OpenCounter(
+      PERF_TYPE_HW_CACHE,
+      PERF_COUNT_HW_CACHE_DTLB | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+          (PERF_COUNT_HW_CACHE_RESULT_MISS << 16));
+}
+
+PerfCounters::~PerfCounters() {
+  if (cache_fd_ >= 0) close(cache_fd_);
+  if (tlb_fd_ >= 0) close(tlb_fd_);
+}
+
+void PerfCounters::Start() {
+  for (int fd : {cache_fd_, tlb_fd_}) {
+    if (fd >= 0) {
+      ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+      ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+    }
+  }
+}
+
+PerfReading PerfCounters::Stop() {
+  for (int fd : {cache_fd_, tlb_fd_}) {
+    if (fd >= 0) ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+  }
+  PerfReading reading;
+  reading.cache_misses = ReadCounter(cache_fd_);
+  reading.dtlb_misses = ReadCounter(tlb_fd_);
+  reading.valid = available();
+  return reading;
+}
+
+#else  // !__linux__
+
+PerfCounters::PerfCounters() = default;
+PerfCounters::~PerfCounters() = default;
+void PerfCounters::Start() {}
+PerfReading PerfCounters::Stop() { return PerfReading{}; }
+
+#endif
+
+}  // namespace memagg

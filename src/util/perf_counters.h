@@ -1,0 +1,49 @@
+// Hardware performance-counter access for the Figure 6 experiments
+// (CPU cache misses and data-TLB misses).
+//
+// The paper measured these with the `perf` CLI; we read the same kernel
+// counters in-process through perf_event_open(2). Containers frequently
+// forbid perf (perf_event_paranoid, seccomp), so the wrapper degrades
+// gracefully: `available()` reports whether real counters are being read and
+// all getters return 0 when they are not.
+
+#ifndef MEMAGG_UTIL_PERF_COUNTERS_H_
+#define MEMAGG_UTIL_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace memagg {
+
+/// Counter readings for one measured region.
+struct PerfReading {
+  uint64_t cache_misses = 0;  ///< LLC / generalized cache misses.
+  uint64_t dtlb_misses = 0;   ///< Data-TLB load misses.
+  bool valid = false;         ///< False when perf events were unavailable.
+};
+
+/// Opens cache-miss and dTLB-miss counters for the calling thread.
+class PerfCounters {
+ public:
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True if at least one hardware counter could be opened.
+  bool available() const { return cache_fd_ >= 0 || tlb_fd_ >= 0; }
+
+  /// Resets and enables the counters.
+  void Start();
+
+  /// Disables the counters and returns the accumulated readings.
+  PerfReading Stop();
+
+ private:
+  int cache_fd_ = -1;
+  int tlb_fd_ = -1;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_PERF_COUNTERS_H_

@@ -1,0 +1,63 @@
+#include "util/prime.h"
+
+#include <initializer_list>
+
+namespace memagg {
+namespace {
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(a) * b % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  uint64_t result = 1;
+  base %= m;
+  while (exp != 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+// One Miller-Rabin round: returns true if n passes for witness a.
+bool MillerRabinRound(uint64_t n, uint64_t a, uint64_t d, int r) {
+  uint64_t x = PowMod(a, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsPrime(uint64_t n) {
+  if (n < 2) return false;
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64.
+  for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL,
+                     23ULL, 29ULL, 31ULL, 37ULL}) {
+    if (!MillerRabinRound(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+uint64_t NextPrime(uint64_t n) {
+  if (n <= 2) return 2;
+  if ((n & 1) == 0) ++n;
+  while (!IsPrime(n)) n += 2;
+  return n;
+}
+
+}  // namespace memagg

@@ -1,0 +1,21 @@
+// Prime sizing helpers for the linear-probing hash table's modulo fallback
+// (Section 3.2.1 of the paper: when a power-of-two capacity would overshoot
+// memory, the table falls back to a prime capacity with modulo addressing).
+
+#ifndef MEMAGG_UTIL_PRIME_H_
+#define MEMAGG_UTIL_PRIME_H_
+
+#include <cstdint>
+
+namespace memagg {
+
+/// Deterministic primality test valid for all 64-bit integers
+/// (Miller-Rabin with a fixed witness set).
+bool IsPrime(uint64_t n);
+
+/// Smallest prime >= n (n >= 0; returns 2 for n <= 2).
+uint64_t NextPrime(uint64_t n);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_PRIME_H_

@@ -1,0 +1,80 @@
+// Fixed-seed pseudo-random number generation.
+//
+// The paper (Section 4) specifies that all "random" data uses a uniform
+// random function with a fixed seed so that datasets are reproducible. We use
+// splitmix64 for seeding and xoshiro256** for the stream: both are fast,
+// well-distributed, and deterministic across platforms.
+
+#ifndef MEMAGG_UTIL_RNG_H_
+#define MEMAGG_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace memagg {
+
+/// splitmix64 step; used to expand a single seed into xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Deterministic uniform random generator (xoshiro256**).
+class Rng {
+ public:
+  /// Default seed matches the generators' notion of "the fixed seed".
+  explicit Rng(uint64_t seed = kDefaultSeed) { Reseed(seed); }
+
+  static constexpr uint64_t kDefaultSeed = 0x5eed5eed5eed5eedULL;
+
+  void Reseed(uint64_t seed) {
+    for (auto& word : state_) word = SplitMix64(seed);
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound). `bound` must be non-zero. Uses Lemire's
+  /// multiply-shift rejection method to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound) {
+    // 128-bit multiply keeps the fast path branch-free in the common case.
+    unsigned __int128 m = static_cast<unsigned __int128>(Next()) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        m = static_cast<unsigned __int128>(Next()) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform value in the inclusive range [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    return lo + NextBounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_RNG_H_

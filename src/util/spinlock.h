@@ -1,0 +1,52 @@
+// Tiny test-and-test-and-set spinlock used for lock striping in the
+// concurrent hash tables. Critical sections there are a handful of loads and
+// stores, so spinning beats parking the thread.
+
+#ifndef MEMAGG_UTIL_SPINLOCK_H_
+#define MEMAGG_UTIL_SPINLOCK_H_
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace memagg {
+
+/// Spinlock satisfying the Lockable requirements (usable with
+/// std::lock_guard).
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    while (true) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) {
+        Pause();
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static void Pause() {
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_pause();
+#endif
+  }
+
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_SPINLOCK_H_

@@ -1,0 +1,101 @@
+// Minimal thread pool used by the parallel sorts and the multithreaded
+// aggregation operators. Tasks may submit further tasks; Wait() blocks until
+// the whole task graph has drained. Tasks must not block on other tasks.
+
+#ifndef MEMAGG_UTIL_THREAD_POOL_H_
+#define MEMAGG_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+/// Fixed-size worker pool with a shared FIFO queue.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    MEMAGG_CHECK(num_threads >= 1);
+    workers_.reserve(static_cast<size_t>(num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      shutting_down_ = true;
+    }
+    work_available_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Safe to call from within a task.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++pending_;
+      queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+  }
+
+  /// Blocks until every submitted task (including transitively submitted
+  /// ones) has finished.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Runs fn(i) for i in [0, count) across the pool and waits.
+  void ParallelFor(int64_t count, const std::function<void(int64_t)>& fn) {
+    for (int64_t i = 0; i < count; ++i) {
+      Submit([&fn, i] { fn(i); });
+    }
+    Wait();
+  }
+
+ private:
+  void WorkerLoop() {
+    while (true) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_available_.wait(
+            lock, [this] { return shutting_down_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // Shutting down.
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--pending_ == 0) all_done_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int64_t pending_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_THREAD_POOL_H_

@@ -1,0 +1,25 @@
+// Memory-access tracing hooks.
+//
+// Data structures take a `Tracer` policy (defaulted to NullTracer) and
+// report every slot/node/bucket they touch through Tracer::OnAccess. With
+// NullTracer the calls compile to nothing, so production instantiations pay
+// zero cost. The simulation layer (src/sim/) provides a tracer that feeds
+// the accesses into a cache/TLB model — the fallback used to reproduce the
+// paper's Figure 6 when hardware perf counters are unavailable.
+
+#ifndef MEMAGG_UTIL_TRACER_H_
+#define MEMAGG_UTIL_TRACER_H_
+
+#include <cstddef>
+
+namespace memagg {
+
+/// Default tracer: all hooks are no-ops the optimizer removes.
+struct NullTracer {
+  static constexpr bool kEnabled = false;
+  static void OnAccess(const void* /*address*/, size_t /*bytes*/) {}
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_TRACER_H_

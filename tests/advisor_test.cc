@@ -1,0 +1,137 @@
+// Tests for the Figure 12 decision-flow advisor: exhaustive over the input
+// space, checking every leaf of the flow chart.
+
+#include "core/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/query.h"
+
+namespace memagg {
+namespace {
+
+WorkloadProfile Profile(OutputFormat out, FunctionCategory cat, bool worm,
+                        bool range, bool prebuilt, int threads) {
+  return WorkloadProfile{out, cat, worm, range, prebuilt, threads};
+}
+
+TEST(AdvisorTest, ScalarWoroPicksSpreadsort) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kScalar,
+                                       FunctionCategory::kHolistic, false,
+                                       false, false, 1)),
+            "Spreadsort");
+}
+
+TEST(AdvisorTest, ScalarWormPicksJudy) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kScalar,
+                                       FunctionCategory::kHolistic, true,
+                                       false, false, 1)),
+            "Judy");
+}
+
+TEST(AdvisorTest, VectorHolisticPicksSpreadsort) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kHolistic, false,
+                                       false, false, 1)),
+            "Spreadsort");
+}
+
+TEST(AdvisorTest, VectorHolisticMultithreadedPicksSortBI) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kHolistic, false,
+                                       false, false, 8)),
+            "Sort_BI");
+}
+
+TEST(AdvisorTest, VectorDistributivePicksHashLP) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kDistributive, false,
+                                       false, false, 1)),
+            "Hash_LP");
+}
+
+TEST(AdvisorTest, VectorDistributiveMultithreadedPicksTBBSC) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kDistributive, false,
+                                       false, false, 4)),
+            "Hash_TBBSC");
+}
+
+TEST(AdvisorTest, RangeWithPrebuiltIndexPicksBtree) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kDistributive, false,
+                                       true, true, 1)),
+            "Btree");
+}
+
+TEST(AdvisorTest, RangeWithoutPrebuiltIndexPicksART) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kDistributive, false,
+                                       true, false, 1)),
+            "ART");
+}
+
+TEST(AdvisorTest, AlgebraicTreatedLikeDistributive) {
+  EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
+                                       FunctionCategory::kAlgebraic, false,
+                                       false, false, 1)),
+            "Hash_LP");
+}
+
+TEST(AdvisorTest, ExhaustiveInputSpaceReturnsKnownLabels) {
+  // Every combination must produce a label the engine can construct.
+  for (OutputFormat out : {OutputFormat::kVector, OutputFormat::kScalar}) {
+    for (FunctionCategory cat :
+         {FunctionCategory::kDistributive, FunctionCategory::kAlgebraic,
+          FunctionCategory::kHolistic}) {
+      for (bool worm : {false, true}) {
+        for (bool range : {false, true}) {
+          for (bool prebuilt : {false, true}) {
+            for (int threads : {1, 8}) {
+              const auto profile =
+                  Profile(out, cat, worm, range, prebuilt, threads);
+              const std::string label = RecommendAlgorithm(profile);
+              EXPECT_FALSE(label.empty());
+              // The label must be constructible by the engine.
+              if (out == OutputFormat::kScalar) {
+                EXPECT_NE(MakeScalarMedianAggregator(label, threads), nullptr);
+              } else {
+                EXPECT_NE(MakeVectorAggregator(label,
+                                               AggregateFunction::kCount, 64,
+                                               CategoryOfLabel(label) ==
+                                                       AlgorithmCategory::kTree
+                                                   ? 1
+                                                   : threads),
+                          nullptr);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AdvisorTest, ProfileForQueryDerivesFields) {
+  const auto profile = ProfileForQuery(MakeQ7(), /*worm=*/true,
+                                       /*prebuilt_index=*/true,
+                                       /*num_threads=*/4);
+  EXPECT_EQ(profile.output, OutputFormat::kVector);
+  EXPECT_EQ(profile.category, FunctionCategory::kDistributive);
+  EXPECT_TRUE(profile.worm);
+  EXPECT_TRUE(profile.has_range_condition);
+  EXPECT_TRUE(profile.prebuilt_index);
+  EXPECT_EQ(profile.num_threads, 4);
+  EXPECT_EQ(RecommendAlgorithm(profile), "Btree");
+}
+
+TEST(AdvisorTest, ExplanationMentionsRecommendation) {
+  const auto profile = ProfileForQuery(MakeQ3());
+  const std::string explanation = ExplainRecommendation(profile);
+  EXPECT_NE(explanation.find(RecommendAlgorithm(profile)), std::string::npos);
+  EXPECT_NE(explanation.find("holistic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace memagg

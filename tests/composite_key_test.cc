@@ -1,0 +1,104 @@
+// Tests for composite group-by key packing.
+
+#include "util/composite_key.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/groupby.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+TEST(CompositeKeyTest, Pack2RoundTrip) {
+  Rng rng(301);
+  for (int i = 0; i < 1000; ++i) {
+    const uint32_t major = static_cast<uint32_t>(rng.Next());
+    const uint32_t minor = static_cast<uint32_t>(rng.Next());
+    uint32_t major_out = 0;
+    uint32_t minor_out = 0;
+    UnpackKey2(PackKey2(major, minor), &major_out, &minor_out);
+    EXPECT_EQ(major_out, major);
+    EXPECT_EQ(minor_out, minor);
+  }
+}
+
+TEST(CompositeKeyTest, Pack2IsOrderPreserving) {
+  // Lexicographic (major, minor) order must equal numeric key order.
+  const std::vector<std::pair<uint32_t, uint32_t>> pairs = {
+      {0, 0}, {0, 1}, {0, ~0u}, {1, 0}, {1, 5}, {2, 0}, {~0u, ~0u}};
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    EXPECT_LT(PackKey2(pairs[i - 1].first, pairs[i - 1].second),
+              PackKey2(pairs[i].first, pairs[i].second))
+        << i;
+  }
+}
+
+TEST(CompositeKeyTest, Pack4RoundTrip) {
+  uint16_t a, b, c, d;
+  UnpackKey4(PackKey4(1, 2, 3, 4), &a, &b, &c, &d);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(c, 3);
+  EXPECT_EQ(d, 4);
+  UnpackKey4(PackKey4(0xffff, 0, 0xffff, 0), &a, &b, &c, &d);
+  EXPECT_EQ(a, 0xffff);
+  EXPECT_EQ(b, 0);
+  EXPECT_EQ(c, 0xffff);
+  EXPECT_EQ(d, 0);
+}
+
+TEST(CompositeKeyTest, PackKeyNVariableWidths) {
+  const uint64_t values[3] = {5, 300, 2};
+  const int widths[3] = {4, 10, 2};
+  const uint64_t key = PackKeyN(values, widths);
+  EXPECT_EQ(key, (5ULL << 12) | (300ULL << 2) | 2ULL);
+}
+
+TEST(CompositeKeyTest, MultiColumnGroupByEndToEnd) {
+  // GROUP BY (region, product): pack both columns, aggregate, unpack.
+  Rng rng(302);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t region = static_cast<uint32_t>(rng.NextBounded(4));
+    const uint32_t product = static_cast<uint32_t>(rng.NextBounded(50));
+    keys.push_back(PackKey2(region, product));
+  }
+  GroupByOptions options;
+  options.algorithm = "Btree";  // Sorted output: groups in (region, product)
+                                // order thanks to order preservation.
+  const auto result =
+      GroupByAggregate(keys, {}, AggregateFunction::kCount, options);
+  EXPECT_LE(result.size(), 4u * 50u);
+  double total = 0;
+  uint32_t previous_region = 0;
+  for (const GroupResult& row : result) {
+    uint32_t region, product;
+    UnpackKey2(row.key, &region, &product);
+    EXPECT_LT(region, 4u);
+    EXPECT_LT(product, 50u);
+    EXPECT_GE(region, previous_region);  // Major column is sorted.
+    previous_region = region;
+    total += row.value;
+  }
+  EXPECT_DOUBLE_EQ(total, 10000.0);
+  // Range condition on the leading column: region == 2 exactly covers
+  // [PackKey2(2, 0), PackKey2(2, ~0u)].
+  GroupByOptions range_options = options;
+  range_options.has_range_condition = true;
+  range_options.range_lo = PackKey2(2, 0);
+  range_options.range_hi = PackKey2(2, ~0u);
+  const auto region2 =
+      GroupByAggregate(keys, {}, AggregateFunction::kCount, range_options);
+  for (const GroupResult& row : region2) {
+    uint32_t region, product;
+    UnpackKey2(row.key, &region, &product);
+    EXPECT_EQ(region, 2u);
+  }
+}
+
+}  // namespace
+}  // namespace memagg

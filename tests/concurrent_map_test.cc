@@ -1,0 +1,174 @@
+// Concurrency tests for the two thread-safe hash tables (paper Section 5.8):
+// ConcurrentChainingMap (Hash_TBBSC) and CuckooMap (Hash_LC).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "hash/concurrent_chaining_map.h"
+#include "hash/cuckoo_map.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kOpsPerThread = 50000;
+
+TEST(ConcurrentChainingMapTest, SingleThreadedBasics) {
+  ConcurrentChainingMap<uint64_t> map(64);
+  map.GetOrInsert(1) = 10;
+  map.GetOrInsert(2) = 20;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(1), nullptr);
+  EXPECT_EQ(*map.Find(1), 10u);
+  EXPECT_EQ(map.Find(3), nullptr);
+}
+
+TEST(ConcurrentChainingMapTest, ConcurrentCountsAreExact) {
+  // All threads increment atomic counters for a shared key range; totals
+  // must be exact (no lost inserts, no duplicate nodes).
+  constexpr uint64_t kKeyRange = 512;
+  ConcurrentChainingMap<std::atomic<uint64_t>> map(kKeyRange);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        map.GetOrInsert(rng.NextBounded(kKeyRange))
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t total = 0;
+  map.ForEach([&total](uint64_t, const std::atomic<uint64_t>& count) {
+    total += count.load();
+  });
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(map.size(), kKeyRange);
+}
+
+TEST(ConcurrentChainingMapTest, InsertRaceOnSameKeyYieldsOneNode) {
+  // Hammer a single key from all threads: the CAS insert must converge on
+  // exactly one node.
+  ConcurrentChainingMap<std::atomic<uint64_t>> map(16);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        map.GetOrInsert(7).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.Find(7)->load(), static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(ConcurrentChainingMapTest, UndersizedBucketsStillCorrect) {
+  // Chains much longer than one entry.
+  ConcurrentChainingMap<std::atomic<uint64_t>> map(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&map, t] {
+      for (uint64_t k = 0; k < 1000; ++k) {
+        map.GetOrInsert(k * 4 + t).fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map.size(), 4000u);
+}
+
+TEST(CuckooMapTest, ConcurrentUpsertCountsAreExact) {
+  constexpr uint64_t kKeyRange = 512;
+  CuckooMap<uint64_t> map(kKeyRange);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      Rng rng(200 + t);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        map.Upsert(rng.NextBounded(kKeyRange), [](uint64_t& v) { ++v; });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t total = 0;
+  map.ForEach([&total](uint64_t, const uint64_t& count) { total += count; });
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
+TEST(CuckooMapTest, ConcurrentUpsertWithEvictionsAndGrowth) {
+  // Undersized table + wide key range: forces displacement paths and at
+  // least one concurrent Grow.
+  CuckooMap<uint64_t> map(8);
+  constexpr uint64_t kKeysPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (uint64_t k = 0; k < kKeysPerThread; ++k) {
+        map.Upsert(t * kKeysPerThread + k, [](uint64_t& v) { ++v; });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map.size(), kThreads * kKeysPerThread);
+  uint64_t total = 0;
+  map.ForEach([&total](uint64_t, const uint64_t& count) { total += count; });
+  EXPECT_EQ(total, kThreads * kKeysPerThread);  // Each key exactly once.
+}
+
+TEST(CuckooMapTest, ConcurrentVectorValues) {
+  // The holistic (Q3) shape: per-group vectors appended under Upsert's
+  // bucket locks.
+  CuckooMap<std::vector<uint64_t>> map(64);
+  constexpr uint64_t kKeyRange = 64;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&map, t] {
+      Rng rng(300 + t);
+      for (int i = 0; i < 20000; ++i) {
+        const uint64_t value = rng.Next();
+        map.Upsert(rng.NextBounded(kKeyRange),
+                   [value](std::vector<uint64_t>& v) { v.push_back(value); });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t total = 0;
+  map.ForEach([&total](uint64_t, const std::vector<uint64_t>& v) {
+    total += v.size();
+  });
+  EXPECT_EQ(total, 4u * 20000u);
+}
+
+TEST(CuckooMapTest, MixedReadersAndWriters) {
+  CuckooMap<uint64_t> map(1024);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> found{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&map, &stop, &found] {
+      Rng rng(400);
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (map.Contains(rng.NextBounded(4096))) {
+          found.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (uint64_t k = 0; k < 4096; ++k) {
+    map.Upsert(k, [](uint64_t& v) { ++v; });
+  }
+  stop.store(true);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(map.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace memagg

@@ -1,0 +1,228 @@
+// Unit tests for the synthetic dataset generators (paper Section 4).
+
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "data/zipf.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+std::map<uint64_t, uint64_t> Histogram(const std::vector<uint64_t>& keys) {
+  std::map<uint64_t, uint64_t> hist;
+  for (uint64_t k : keys) ++hist[k];
+  return hist;
+}
+
+TEST(DatasetNamesTest, RoundTrip) {
+  for (Distribution d : kAllDistributions) {
+    EXPECT_EQ(DistributionFromName(DistributionName(d)), d);
+  }
+}
+
+TEST(RseqTest, CyclesThroughCardinality) {
+  DatasetSpec spec{Distribution::kRseq, 10, 3, 1};
+  const auto keys = GenerateKeys(spec);
+  EXPECT_EQ(keys, (std::vector<uint64_t>{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(RseqTest, DeterministicCardinality) {
+  for (uint64_t c : {1ULL, 10ULL, 100ULL, 999ULL}) {
+    DatasetSpec spec{Distribution::kRseq, 10000, c, 1};
+    EXPECT_EQ(CountDistinct(GenerateKeys(spec)), c) << "cardinality " << c;
+  }
+}
+
+TEST(RseqShuffledTest, SameMultisetAsRseq) {
+  DatasetSpec spec{Distribution::kRseq, 5000, 37, 1};
+  DatasetSpec shuffled_spec = spec;
+  shuffled_spec.distribution = Distribution::kRseqShuffled;
+  auto plain = GenerateKeys(spec);
+  auto shuffled = GenerateKeys(shuffled_spec);
+  EXPECT_NE(plain, shuffled);  // Actually shuffled...
+  std::sort(plain.begin(), plain.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(plain, shuffled);  // ...but the same records.
+}
+
+TEST(HhitTest, HeavyHitterIsHalfTheRecords) {
+  DatasetSpec spec{Distribution::kHhit, 100000, 100, 7};
+  const auto keys = GenerateKeys(spec);
+  ASSERT_EQ(keys.size(), 100000u);
+  const auto hist = Histogram(keys);
+  EXPECT_EQ(hist.size(), 100u);  // Deterministic cardinality.
+  uint64_t max_count = 0;
+  for (const auto& [key, count] : hist) max_count = std::max(max_count, count);
+  EXPECT_GE(max_count, 50000u);
+}
+
+TEST(HhitTest, UnshuffledConcentratesHeavyHitterInFirstHalf) {
+  DatasetSpec spec{Distribution::kHhit, 10000, 50, 7};
+  const auto keys = GenerateKeys(spec);
+  // The first half is exactly the heavy hitter.
+  for (size_t i = 1; i < keys.size() / 2; ++i) {
+    EXPECT_EQ(keys[i], keys[0]);
+  }
+}
+
+TEST(HhitShuffledTest, SpreadsHeavyHitter) {
+  DatasetSpec spec{Distribution::kHhitShuffled, 10000, 50, 7};
+  const auto keys = GenerateKeys(spec);
+  const auto hist = Histogram(keys);
+  EXPECT_EQ(hist.size(), 50u);
+  // Heavy hitter should appear in the second half too.
+  uint64_t heavy = 0;
+  uint64_t max_count = 0;
+  for (const auto& [key, count] : hist) {
+    if (count > max_count) {
+      max_count = count;
+      heavy = key;
+    }
+  }
+  const uint64_t in_second_half = static_cast<uint64_t>(
+      std::count(keys.begin() + keys.size() / 2, keys.end(), heavy));
+  EXPECT_GT(in_second_half, 1000u);
+}
+
+TEST(ZipfGeneratorTest, RanksInRange) {
+  Rng rng;
+  ZipfGenerator zipf(1000, 0.5);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(zipf.Next(rng), 1000u);
+  }
+}
+
+TEST(ZipfGeneratorTest, FrequencyFollowsRank) {
+  // P(k) ~ 1/sqrt(k+1): rank 0 should be drawn noticeably more often than
+  // rank 99, about sqrt(100) = 10x.
+  Rng rng;
+  ZipfGenerator zipf(100, 0.5);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next(rng)];
+  EXPECT_GT(counts[0], counts[99] * 5);
+  EXPECT_LT(counts[0], counts[99] * 20);
+}
+
+TEST(ZipfGeneratorTest, SingleItem) {
+  Rng rng;
+  ZipfGenerator zipf(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf.Next(rng), 0u);
+}
+
+TEST(ZipfDatasetTest, CardinalityNearTargetWhenSmall) {
+  // With c << n the realized cardinality should essentially hit the target.
+  DatasetSpec spec{Distribution::kZipf, 1000000, 100, 3};
+  const uint64_t distinct = CountDistinct(GenerateKeys(spec));
+  EXPECT_GE(distinct, 95u);
+  EXPECT_LE(distinct, 100u);
+}
+
+TEST(MovingClusterTest, KeysStayInSlidingWindow) {
+  const uint64_t n = 100000;
+  const uint64_t c = 10000;
+  DatasetSpec spec{Distribution::kMovingCluster, n, c, 9};
+  const auto keys = GenerateKeys(spec);
+  constexpr uint64_t kWindow = 64;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t base = (c - kWindow) * i / n;
+    EXPECT_GE(keys[i], base) << "at " << i;
+    EXPECT_LE(keys[i], base + kWindow) << "at " << i;
+  }
+}
+
+TEST(MovingClusterTest, CoversKeySpace) {
+  DatasetSpec spec{Distribution::kMovingCluster, 1000000, 1000, 9};
+  const auto keys = GenerateKeys(spec);
+  const uint64_t max_key = *std::max_element(keys.begin(), keys.end());
+  EXPECT_GT(max_key, 900u);
+  EXPECT_LE(max_key, 1000u);
+}
+
+TEST(IsValidSpecTest, EnforcesPerDistributionConstraints) {
+  // Cardinality bounds.
+  EXPECT_FALSE(IsValidSpec({Distribution::kRseq, 100, 0, 1}));
+  EXPECT_FALSE(IsValidSpec({Distribution::kRseq, 100, 101, 1}));
+  EXPECT_TRUE(IsValidSpec({Distribution::kRseq, 100, 100, 1}));
+  // Hhit: the heavy hitter must cover half the records.
+  EXPECT_TRUE(IsValidSpec({Distribution::kHhit, 100, 51, 1}));
+  EXPECT_FALSE(IsValidSpec({Distribution::kHhit, 100, 52, 1}));
+  EXPECT_FALSE(IsValidSpec({Distribution::kHhitShuffled, 10000000, 10000000, 1}));
+  // MovC: cardinality must cover the 64-wide window.
+  EXPECT_FALSE(IsValidSpec({Distribution::kMovingCluster, 1000, 63, 1}));
+  EXPECT_TRUE(IsValidSpec({Distribution::kMovingCluster, 1000, 64, 1}));
+}
+
+TEST(GeneratorsTest, DeterministicAcrossCalls) {
+  for (Distribution d : kAllDistributions) {
+    DatasetSpec spec{d, 10000, 100, 5};
+    EXPECT_EQ(GenerateKeys(spec), GenerateKeys(spec)) << DistributionName(d);
+  }
+}
+
+TEST(GeneratorsTest, SeedChangesProbabilisticData) {
+  DatasetSpec a{Distribution::kZipf, 10000, 100, 5};
+  DatasetSpec b = a;
+  b.seed = 6;
+  EXPECT_NE(GenerateKeys(a), GenerateKeys(b));
+}
+
+TEST(GenerateValuesTest, InRangeAndDeterministic) {
+  const auto values = GenerateValues(10000, 500);
+  EXPECT_EQ(values.size(), 10000u);
+  for (uint64_t v : values) EXPECT_LT(v, 500u);
+  EXPECT_EQ(values, GenerateValues(10000, 500));
+}
+
+TEST(ShuffleKeysTest, PermutesDeterministically) {
+  std::vector<uint64_t> keys(1000);
+  std::iota(keys.begin(), keys.end(), 0);
+  auto a = keys;
+  auto b = keys;
+  ShuffleKeys(a, 11);
+  ShuffleKeys(b, 11);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, keys);
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(a, keys);
+}
+
+TEST(MicroDistributionsTest, MatchTheirSpecs) {
+  const uint64_t n = 100000;
+  {
+    const auto keys = GenerateMicroKeys(MicroDistribution::kRandom1To5, n);
+    for (uint64_t k : keys) {
+      EXPECT_GE(k, 1u);
+      EXPECT_LE(k, 5u);
+    }
+  }
+  {
+    const auto keys = GenerateMicroKeys(MicroDistribution::kRandom1kTo1M, n);
+    for (uint64_t k : keys) {
+      EXPECT_GE(k, 1000u);
+      EXPECT_LE(k, 1000000u);
+    }
+  }
+  {
+    const auto keys =
+        GenerateMicroKeys(MicroDistribution::kPresortedSequential, n);
+    EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+    EXPECT_EQ(keys.front(), 0u);
+    EXPECT_EQ(keys.back(), n - 1);
+  }
+  {
+    const auto keys =
+        GenerateMicroKeys(MicroDistribution::kReversedSequential, n);
+    EXPECT_TRUE(std::is_sorted(keys.rbegin(), keys.rend()));
+    EXPECT_EQ(keys.front(), n - 1);
+    EXPECT_EQ(keys.back(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace memagg

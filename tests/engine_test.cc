@@ -1,0 +1,77 @@
+// Tests for the engine registry (label -> operator mapping).
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/query.h"
+
+namespace memagg {
+namespace {
+
+TEST(EngineTest, SerialLabelsMatchTable3) {
+  EXPECT_EQ(SerialLabels(),
+            (std::vector<std::string>{"ART", "Judy", "Btree", "Hash_SC",
+                                      "Hash_LP", "Hash_Sparse", "Hash_Dense",
+                                      "Hash_LC", "Introsort", "Spreadsort"}));
+}
+
+TEST(EngineTest, ConcurrentLabelsMatchTable8) {
+  EXPECT_EQ(ConcurrentLabels(),
+            (std::vector<std::string>{"Hash_TBBSC", "Hash_LC", "Sort_BI",
+                                      "Sort_QSLB"}));
+}
+
+TEST(EngineTest, CategoryOfLabel) {
+  EXPECT_EQ(CategoryOfLabel("Hash_LP"), AlgorithmCategory::kHash);
+  EXPECT_EQ(CategoryOfLabel("Hash_TBBSC"), AlgorithmCategory::kHash);
+  EXPECT_EQ(CategoryOfLabel("ART"), AlgorithmCategory::kTree);
+  EXPECT_EQ(CategoryOfLabel("Judy"), AlgorithmCategory::kTree);
+  EXPECT_EQ(CategoryOfLabel("Btree"), AlgorithmCategory::kTree);
+  EXPECT_EQ(CategoryOfLabel("Ttree"), AlgorithmCategory::kTree);
+  EXPECT_EQ(CategoryOfLabel("Introsort"), AlgorithmCategory::kSort);
+  EXPECT_EQ(CategoryOfLabel("Spreadsort"), AlgorithmCategory::kSort);
+  EXPECT_EQ(CategoryOfLabel("Sort_BI"), AlgorithmCategory::kSort);
+}
+
+TEST(EngineTest, EveryLabelConstructsEveryFunction) {
+  for (const std::string& label : SerialLabels()) {
+    for (AggregateFunction fn :
+         {AggregateFunction::kCount, AggregateFunction::kSum,
+          AggregateFunction::kMin, AggregateFunction::kMax,
+          AggregateFunction::kAverage, AggregateFunction::kMedian,
+          AggregateFunction::kMode}) {
+      EXPECT_NE(MakeVectorAggregator(label, fn, 64), nullptr)
+          << label << " " << AggregateFunctionName(fn);
+    }
+  }
+}
+
+TEST(EngineTest, ExtraSortLabelsConstruct) {
+  for (const std::string& label :
+       {std::string("Quicksort"), std::string("Sort_MSBRadix"),
+        std::string("Sort_LSBRadix"), std::string("Sort_SS"),
+        std::string("Sort_TBB"), std::string("Ttree")}) {
+    EXPECT_NE(MakeVectorAggregator(label, AggregateFunction::kCount, 64),
+              nullptr)
+        << label;
+  }
+}
+
+TEST(EngineTest, QueryDescriptorsMatchTable1) {
+  EXPECT_EQ(MakeQ1().category(), FunctionCategory::kDistributive);
+  EXPECT_EQ(MakeQ1().output, OutputFormat::kVector);
+  EXPECT_EQ(MakeQ2().category(), FunctionCategory::kAlgebraic);
+  EXPECT_EQ(MakeQ3().category(), FunctionCategory::kHolistic);
+  EXPECT_EQ(MakeQ3().output, OutputFormat::kVector);
+  EXPECT_EQ(MakeQ4().output, OutputFormat::kScalar);
+  EXPECT_EQ(MakeQ5().output, OutputFormat::kScalar);
+  EXPECT_EQ(MakeQ6().output, OutputFormat::kScalar);
+  EXPECT_EQ(MakeQ6().category(), FunctionCategory::kHolistic);
+  EXPECT_TRUE(MakeQ7().has_range_condition);
+  EXPECT_EQ(MakeQ7().range_lo, 500u);
+  EXPECT_EQ(MakeQ7().range_hi, 1000u);
+}
+
+}  // namespace
+}  // namespace memagg

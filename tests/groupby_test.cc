@@ -1,0 +1,110 @@
+// Tests for the one-call GroupByAggregate / ScalarAggregate facade.
+
+#include "core/groupby.h"
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace memagg {
+namespace {
+
+TEST(GroupByTest, AutoCountMatchesReference) {
+  DatasetSpec spec{Distribution::kZipf, 30000, 500, 201};
+  const auto keys = GenerateKeys(spec);
+  auto result = GroupByAggregate(keys, {}, AggregateFunction::kCount);
+  SortByKey(result);
+  EXPECT_EQ(result,
+            ReferenceVectorAggregate(keys, {}, AggregateFunction::kCount));
+}
+
+TEST(GroupByTest, AutoMedianUsesSortPathAndMatches) {
+  DatasetSpec spec{Distribution::kRseqShuffled, 30000, 500, 202};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 1000, 203);
+  auto result = GroupByAggregate(keys, values, AggregateFunction::kMedian);
+  SortByKey(result);
+  EXPECT_EQ(result, ReferenceVectorAggregate(keys, values,
+                                             AggregateFunction::kMedian));
+}
+
+TEST(GroupByTest, PinnedAlgorithm) {
+  const std::vector<uint64_t> keys = {3, 1, 3, 2};
+  GroupByOptions options;
+  options.algorithm = "Btree";
+  auto result =
+      GroupByAggregate(keys, {}, AggregateFunction::kCount, options);
+  const VectorResult expected = {{1, 1.0}, {2, 1.0}, {3, 2.0}};
+  EXPECT_EQ(result, expected);  // Btree emits in key order already.
+}
+
+TEST(GroupByTest, RangeConditionRoutesToTree) {
+  DatasetSpec spec{Distribution::kRseqShuffled, 20000, 1000, 204};
+  const auto keys = GenerateKeys(spec);
+  GroupByOptions options;
+  options.has_range_condition = true;
+  options.range_lo = 100;
+  options.range_hi = 300;
+  auto result =
+      GroupByAggregate(keys, {}, AggregateFunction::kCount, options);
+  SortByKey(result);
+  EXPECT_EQ(result,
+            ReferenceVectorAggregate(keys, {}, AggregateFunction::kCount,
+                                     100, 300));
+}
+
+TEST(GroupByTest, RangeConditionOnHashPostFilters) {
+  const std::vector<uint64_t> keys = {1, 5, 9, 5, 1};
+  GroupByOptions options;
+  options.algorithm = "Hash_LP";  // No native range support: post-filter.
+  options.has_range_condition = true;
+  options.range_lo = 2;
+  options.range_hi = 8;
+  auto result =
+      GroupByAggregate(keys, {}, AggregateFunction::kCount, options);
+  SortByKey(result);
+  const VectorResult expected = {{5, 2.0}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(GroupByTest, MultithreadedAuto) {
+  DatasetSpec spec{Distribution::kHhitShuffled, 50000, 200, 205};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 100, 206);
+  GroupByOptions options;
+  options.num_threads = 4;  // Advisor picks Hash_TBBSC / Sort_BI.
+  for (AggregateFunction fn :
+       {AggregateFunction::kCount, AggregateFunction::kMedian}) {
+    auto result = GroupByAggregate(keys, values, fn, options);
+    SortByKey(result);
+    EXPECT_EQ(result, ReferenceVectorAggregate(keys, values, fn))
+        << AggregateFunctionName(fn);
+  }
+}
+
+TEST(GroupByTest, EmptyInput) {
+  auto result = GroupByAggregate({}, {}, AggregateFunction::kCount);
+  EXPECT_TRUE(result.empty());
+}
+
+TEST(ScalarAggregateTest, AllFunctions) {
+  const std::vector<uint64_t> column = {5, 1, 9, 1, 4};
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kCount), 5.0);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kSum), 20.0);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kMin), 1.0);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kMax), 9.0);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kAverage), 4.0);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kMedian), 4.0);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(column, AggregateFunction::kMode), 1.0);
+}
+
+TEST(ScalarAggregateTest, MedianMatchesReferenceOnLargeColumn) {
+  DatasetSpec spec{Distribution::kZipf, 50001, 1000, 207};
+  const auto keys = GenerateKeys(spec);
+  EXPECT_DOUBLE_EQ(ScalarAggregate(keys, AggregateFunction::kMedian),
+                   ReferenceMedian(keys));
+}
+
+}  // namespace
+}  // namespace memagg

@@ -1,0 +1,156 @@
+// Tests for the adaptive hybrid sort/hash aggregator (the paper's Section
+// 5.5 future-work extension): correctness in pure-hash mode, across the
+// switch boundary, and deep into sort mode, for distributive, algebraic and
+// holistic aggregates.
+
+#include "core/hybrid_aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace memagg {
+namespace {
+
+TEST(HybridTest, LowCardinalityStaysInHashMode) {
+  HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/100);
+  DatasetSpec spec{Distribution::kRseqShuffled, 50000, 50, 101};
+  const auto keys = GenerateKeys(spec);
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_FALSE(aggregator.in_sort_mode());
+  auto result = aggregator.Iterate();
+  SortByKey(result);
+  EXPECT_EQ(result,
+            ReferenceVectorAggregate(keys, {}, AggregateFunction::kCount));
+}
+
+TEST(HybridTest, HighCardinalitySwitchesToSortMode) {
+  HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/100);
+  DatasetSpec spec{Distribution::kRseqShuffled, 50000, 5000, 102};
+  const auto keys = GenerateKeys(spec);
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_TRUE(aggregator.in_sort_mode());
+  auto result = aggregator.Iterate();
+  SortByKey(result);
+  EXPECT_EQ(result,
+            ReferenceVectorAggregate(keys, {}, AggregateFunction::kCount));
+}
+
+TEST(HybridTest, SwitchMergesPartialsWithSortedRuns) {
+  // Keys seen both before and after the switch must merge into one group.
+  HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/10);
+  std::vector<uint64_t> keys;
+  // Phase 1: 11 distinct keys trigger the switch...
+  for (uint64_t k = 0; k <= 10; ++k) keys.push_back(k);
+  // ...phase 2: revisit old keys and add new ones.
+  for (uint64_t k = 0; k <= 20; ++k) keys.push_back(k);
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_TRUE(aggregator.in_sort_mode());
+  auto result = aggregator.Iterate();
+  SortByKey(result);
+  ASSERT_EQ(result.size(), 21u);
+  for (const GroupResult& row : result) {
+    EXPECT_DOUBLE_EQ(row.value, row.key <= 10 ? 2.0 : 1.0) << row.key;
+  }
+}
+
+TEST(HybridTest, HolisticSpillsRawValues) {
+  HybridVectorAggregator<MedianAggregate> aggregator(0,
+                                                     /*max_hash_groups=*/64);
+  DatasetSpec spec{Distribution::kZipf, 30000, 1000, 103};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 500, 104);
+  aggregator.Build(keys.data(), values.data(), keys.size());
+  EXPECT_TRUE(aggregator.in_sort_mode());
+  auto result = aggregator.Iterate();
+  SortByKey(result);
+  EXPECT_EQ(result, ReferenceVectorAggregate(keys, values,
+                                             AggregateFunction::kMedian));
+}
+
+TEST(HybridTest, AverageAcrossSwitch) {
+  HybridVectorAggregator<AverageAggregate> aggregator(0,
+                                                      /*max_hash_groups=*/32);
+  DatasetSpec spec{Distribution::kMovingCluster, 20000, 512, 105};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 1000, 106);
+  aggregator.Build(keys.data(), values.data(), keys.size());
+  auto result = aggregator.Iterate();
+  SortByKey(result);
+  const auto expected =
+      ReferenceVectorAggregate(keys, values, AggregateFunction::kAverage);
+  ASSERT_EQ(result.size(), expected.size());
+  for (size_t i = 0; i < result.size(); ++i) {
+    EXPECT_EQ(result[i].key, expected[i].key);
+    EXPECT_DOUBLE_EQ(result[i].value, expected[i].value);
+  }
+}
+
+TEST(HybridTest, ExactlyAtThresholdDoesNotSwitch) {
+  HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/5);
+  const std::vector<uint64_t> keys = {1, 2, 3, 4, 5, 1, 2, 3};
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_FALSE(aggregator.in_sort_mode());  // 5 groups == threshold.
+  EXPECT_EQ(aggregator.Iterate().size(), 5u);
+}
+
+TEST(HybridTest, EngineLabelConstructsHybrid) {
+  DatasetSpec spec{Distribution::kHhitShuffled, 40000, 2000, 107};
+  const auto keys = GenerateKeys(spec);
+  for (AggregateFunction fn :
+       {AggregateFunction::kCount, AggregateFunction::kAverage,
+        AggregateFunction::kMedian, AggregateFunction::kMode}) {
+    const auto values = GenerateValues(keys.size(), 300, 108);
+    auto aggregator = MakeVectorAggregator("Hybrid", fn, keys.size());
+    aggregator->Build(keys.data(), values.data(), keys.size());
+    auto result = aggregator->Iterate();
+    SortByKey(result);
+    EXPECT_EQ(result, ReferenceVectorAggregate(keys, values, fn))
+        << AggregateFunctionName(fn);
+  }
+}
+
+TEST(HybridTest, MatchesHashAndSortOperatorsOnEveryDistribution) {
+  for (Distribution d : kAllDistributions) {
+    for (uint64_t cardinality : {64ULL, 8192ULL}) {
+      DatasetSpec spec{d, 60000, cardinality, 109};
+      const auto keys = GenerateKeys(spec);
+      auto hybrid =
+          MakeVectorAggregator("Hybrid", AggregateFunction::kCount,
+                               keys.size());
+      auto reference_op =
+          MakeVectorAggregator("Hash_LP", AggregateFunction::kCount,
+                               keys.size());
+      hybrid->Build(keys.data(), nullptr, keys.size());
+      reference_op->Build(keys.data(), nullptr, keys.size());
+      auto got = hybrid->Iterate();
+      auto want = reference_op->Iterate();
+      SortByKey(got);
+      SortByKey(want);
+      EXPECT_EQ(got, want) << DistributionName(d) << " c=" << cardinality;
+    }
+  }
+}
+
+TEST(HybridTest, IncrementalBuildsSpanTheSwitch) {
+  HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/50);
+  std::vector<uint64_t> part1;
+  std::vector<uint64_t> part2;
+  for (uint64_t k = 0; k < 40; ++k) part1.push_back(k);      // Hash mode.
+  for (uint64_t k = 0; k < 400; ++k) part2.push_back(k % 200);  // Switches.
+  aggregator.Build(part1.data(), nullptr, part1.size());
+  EXPECT_FALSE(aggregator.in_sort_mode());
+  aggregator.Build(part2.data(), nullptr, part2.size());
+  EXPECT_TRUE(aggregator.in_sort_mode());
+  auto result = aggregator.Iterate();
+  SortByKey(result);
+  std::vector<uint64_t> all = part1;
+  all.insert(all.end(), part2.begin(), part2.end());
+  EXPECT_EQ(result,
+            ReferenceVectorAggregate(all, {}, AggregateFunction::kCount));
+}
+
+}  // namespace
+}  // namespace memagg

@@ -1,0 +1,131 @@
+// Tests for order-preserving minimal perfect hashing and its aggregation
+// operator (the paper's §3.2 "ordered hash table" design).
+
+#include "hash/ordered_mph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+TEST(OrderedMphTest, EmptySet) {
+  OrderedMinimalPerfectHash mph;
+  mph.Build(nullptr, 0);
+  EXPECT_EQ(mph.size(), 0u);
+  EXPECT_EQ(mph.Slot(42), 0u);  // size() == "not found".
+}
+
+TEST(OrderedMphTest, SingleKey) {
+  OrderedMinimalPerfectHash mph;
+  const uint64_t key = 42;
+  mph.Build(&key, 1);
+  EXPECT_EQ(mph.size(), 1u);
+  EXPECT_EQ(mph.Slot(42), 0u);
+  EXPECT_EQ(mph.KeyAt(0), 42u);
+  EXPECT_EQ(mph.Slot(41), 1u);  // Miss.
+  EXPECT_EQ(mph.Slot(43), 1u);  // Miss.
+}
+
+TEST(OrderedMphTest, MinimalPerfectAndOrderPreserving) {
+  Rng rng(501);
+  std::set<uint64_t> key_set;
+  while (key_set.size() < 5000) key_set.insert(rng.Next());
+  std::vector<uint64_t> keys(key_set.begin(), key_set.end());
+  ShuffleKeys(keys, 502);  // Build input need not be sorted.
+  OrderedMinimalPerfectHash mph;
+  mph.Build(keys.data(), keys.size());
+  ASSERT_EQ(mph.size(), key_set.size());  // Minimal.
+  size_t expected_slot = 0;
+  for (uint64_t key : key_set) {  // std::set iterates in order.
+    EXPECT_EQ(mph.Slot(key), expected_slot) << key;  // Perfect + ordered.
+    EXPECT_EQ(mph.KeyAt(expected_slot), key);
+    ++expected_slot;
+  }
+}
+
+TEST(OrderedMphTest, MissesReportSize) {
+  const std::vector<uint64_t> keys = {10, 20, 30};
+  OrderedMinimalPerfectHash mph;
+  mph.Build(keys.data(), keys.size());
+  for (uint64_t miss : {0ULL, 5ULL, 15ULL, 25ULL, 35ULL, ~0ULL}) {
+    EXPECT_EQ(mph.Slot(miss), 3u) << miss;
+  }
+}
+
+TEST(OrderedMphTest, DuplicatesShareSlots) {
+  const std::vector<uint64_t> keys = {7, 7, 7, 3, 3};
+  OrderedMinimalPerfectHash mph;
+  mph.Build(keys.data(), keys.size());
+  EXPECT_EQ(mph.size(), 2u);
+  EXPECT_EQ(mph.Slot(3), 0u);
+  EXPECT_EQ(mph.Slot(7), 1u);
+}
+
+TEST(OrderedMphTest, ExhaustiveSmallSizes) {
+  // Eytzinger layout edge cases around powers of two.
+  for (size_t n = 1; n <= 70; ++n) {
+    std::vector<uint64_t> keys;
+    for (size_t i = 0; i < n; ++i) keys.push_back(i * 3 + 1);
+    OrderedMinimalPerfectHash mph;
+    mph.Build(keys.data(), keys.size());
+    ASSERT_EQ(mph.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(mph.Slot(i * 3 + 1), i) << "n=" << n;
+      ASSERT_EQ(mph.Slot(i * 3), n) << "n=" << n;      // Gap below.
+      ASSERT_EQ(mph.Slot(i * 3 + 2), n) << "n=" << n;  // Gap above.
+    }
+  }
+}
+
+TEST(MphAggregatorTest, OrderedOutputMatchesReference) {
+  DatasetSpec spec{Distribution::kZipf, 30000, 500, 503};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 1000, 504);
+  for (AggregateFunction fn :
+       {AggregateFunction::kCount, AggregateFunction::kMedian}) {
+    auto aggregator = MakeVectorAggregator("Hash_MPH", fn, keys.size());
+    aggregator->Build(keys.data(), values.data(), keys.size());
+    const auto result = aggregator->Iterate();
+    // Output is already key-ordered — the property the scheme buys.
+    for (size_t i = 1; i < result.size(); ++i) {
+      EXPECT_LT(result[i - 1].key, result[i].key);
+    }
+    EXPECT_EQ(result, ReferenceVectorAggregate(keys, values, fn))
+        << AggregateFunctionName(fn);
+  }
+}
+
+TEST(MphAggregatorTest, NativeRangeSearch) {
+  DatasetSpec spec{Distribution::kRseqShuffled, 10000, 1000, 505};
+  const auto keys = GenerateKeys(spec);
+  auto aggregator =
+      MakeVectorAggregator("Hash_MPH", AggregateFunction::kCount, keys.size());
+  EXPECT_TRUE(aggregator->SupportsRange());
+  aggregator->Build(keys.data(), nullptr, keys.size());
+  const auto result = aggregator->IterateRange(100, 200);
+  EXPECT_EQ(result, ReferenceVectorAggregate(keys, {},
+                                             AggregateFunction::kCount, 100,
+                                             200));
+}
+
+TEST(MphAggregatorTest, IncrementalBuildRebuilds) {
+  const std::vector<uint64_t> part1 = {5, 1, 5};
+  const std::vector<uint64_t> part2 = {9, 1};
+  auto aggregator =
+      MakeVectorAggregator("Hash_MPH", AggregateFunction::kCount, 8);
+  aggregator->Build(part1.data(), nullptr, part1.size());
+  aggregator->Build(part2.data(), nullptr, part2.size());
+  const VectorResult expected = {{1, 2.0}, {5, 2.0}, {9, 1.0}};
+  EXPECT_EQ(aggregator->Iterate(), expected);
+}
+
+}  // namespace
+}  // namespace memagg

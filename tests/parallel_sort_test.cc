@@ -1,0 +1,130 @@
+// Tests for the four parallel sort algorithms (paper Section 5.8 / Figure
+// 10): correctness against std::sort across thread counts and distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "sort/block_indirect_sort.h"
+#include "sort/parallel_quicksort.h"
+#include "sort/samplesort.h"
+#include "sort/sort_common.h"
+#include "sort/task_quicksort.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+using ParallelSortFn = std::function<void(uint64_t*, uint64_t*, int)>;
+
+struct NamedParallelSort {
+  std::string name;
+  ParallelSortFn fn;
+};
+
+std::vector<NamedParallelSort> AllParallelSorts() {
+  return {
+      {"Sort_QSLB",
+       [](uint64_t* f, uint64_t* l, int t) { ParallelQuickSort(f, l, t); }},
+      {"Sort_BI",
+       [](uint64_t* f, uint64_t* l, int t) { BlockIndirectSort(f, l, t); }},
+      {"Sort_SS", [](uint64_t* f, uint64_t* l, int t) { SampleSort(f, l, t); }},
+      {"Sort_TBB",
+       [](uint64_t* f, uint64_t* l, int t) { TaskQuickSort(f, l, t); }},
+  };
+}
+
+struct ParallelCase {
+  int sort_index;
+  int threads;
+};
+
+class ParallelSortCorrectness
+    : public ::testing::TestWithParam<ParallelCase> {};
+
+void ExpectSorted(const ParallelSortFn& fn, std::vector<uint64_t> input,
+                  int threads) {
+  std::vector<uint64_t> expected = input;
+  std::sort(expected.begin(), expected.end());
+  fn(input.data(), input.data() + input.size(), threads);
+  ASSERT_EQ(input, expected);
+}
+
+TEST_P(ParallelSortCorrectness, RandomLarge) {
+  const NamedParallelSort named = AllParallelSorts()[GetParam().sort_index];
+  Rng rng(7);
+  // Above the sequential threshold so the parallel path actually runs.
+  std::vector<uint64_t> keys(200000);
+  for (auto& k : keys) k = rng.Next();
+  ExpectSorted(named.fn, keys, GetParam().threads);
+}
+
+TEST_P(ParallelSortCorrectness, AllMicroDistributions) {
+  const NamedParallelSort named = AllParallelSorts()[GetParam().sort_index];
+  for (MicroDistribution d : kAllMicroDistributions) {
+    ExpectSorted(named.fn, GenerateMicroKeys(d, 100000), GetParam().threads);
+  }
+}
+
+TEST_P(ParallelSortCorrectness, TinyInputFallsBackToSequential) {
+  const NamedParallelSort named = AllParallelSorts()[GetParam().sort_index];
+  ExpectSorted(named.fn, {}, GetParam().threads);
+  ExpectSorted(named.fn, {3, 1, 2}, GetParam().threads);
+}
+
+TEST_P(ParallelSortCorrectness, AllEqualKeys) {
+  const NamedParallelSort named = AllParallelSorts()[GetParam().sort_index];
+  std::vector<uint64_t> keys(150000, 77);
+  ExpectSorted(named.fn, keys, GetParam().threads);
+}
+
+std::vector<ParallelCase> AllCases() {
+  std::vector<ParallelCase> cases;
+  for (int s = 0; s < 4; ++s) {
+    for (int t : {1, 2, 4, 8}) cases.push_back({s, t});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSortsAllThreads, ParallelSortCorrectness, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<ParallelCase>& info) {
+      return AllParallelSorts()[info.param.sort_index].name + "_t" +
+             std::to_string(info.param.threads);
+    });
+
+TEST(ParallelRecordSortTest, BlockIndirectSortsRecords) {
+  Rng rng(8);
+  std::vector<std::pair<uint64_t, uint64_t>> records(120000);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    records[i] = {rng.NextBounded(1000), i};
+  }
+  BlockIndirectSort(records.data(), records.data() + records.size(),
+                    KeyLess<PairFirstKey>{}, 4);
+  EXPECT_TRUE(std::is_sorted(records.begin(), records.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             }));
+}
+
+TEST(ParallelRecordSortTest, ParallelQuicksortSortsRecords) {
+  Rng rng(9);
+  std::vector<std::pair<uint64_t, uint64_t>> records(120000);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    records[i] = {rng.Next(), i};
+  }
+  ParallelQuickSort(records.data(), records.data() + records.size(),
+                    KeyLess<PairFirstKey>{}, 4);
+  EXPECT_TRUE(std::is_sorted(records.begin(), records.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             }));
+}
+
+}  // namespace
+}  // namespace memagg

@@ -1,0 +1,142 @@
+// Property-based sweeps: invariants that must hold for every operator on
+// every dataset distribution and cardinality, without reference to a golden
+// output.
+//
+//   P1. Sum of Q1 group counts equals the number of records.
+//   P2. Number of groups equals the number of distinct keys.
+//   P3. Every group median lies within the value column's [min, max].
+//   P4. All operators agree with each other (pairwise equality).
+//   P5. Range iterate equals full iterate filtered by the range.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "core/engine.h"
+#include "data/dataset.h"
+#include "test_util.h"
+
+namespace memagg {
+namespace {
+
+struct Sweep {
+  Distribution distribution;
+  uint64_t records;
+  uint64_t cardinality;
+};
+
+class PropertySweep : public ::testing::TestWithParam<Sweep> {};
+
+TEST_P(PropertySweep, CountsSumToRecordCount) {
+  const Sweep& s = GetParam();
+  DatasetSpec spec{s.distribution, s.records, s.cardinality, 61};
+  const auto keys = GenerateKeys(spec);
+  const uint64_t distinct = CountDistinct(keys);
+  for (const std::string& label : SerialLabels()) {
+    auto aggregator =
+        MakeVectorAggregator(label, AggregateFunction::kCount, keys.size());
+    aggregator->Build(keys.data(), nullptr, keys.size());
+    const auto result = aggregator->Iterate();
+    EXPECT_EQ(result.size(), distinct) << label;  // P2.
+    double total = 0;
+    for (const GroupResult& row : result) total += row.value;
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(s.records)) << label;  // P1.
+  }
+}
+
+TEST_P(PropertySweep, MediansWithinValueBounds) {
+  const Sweep& s = GetParam();
+  DatasetSpec spec{s.distribution, s.records, s.cardinality, 62};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 5000, 63);
+  const double lo = static_cast<double>(
+      *std::min_element(values.begin(), values.end()));
+  const double hi = static_cast<double>(
+      *std::max_element(values.begin(), values.end()));
+  for (const std::string& label :
+       {std::string("Hash_LP"), std::string("ART"), std::string("Spreadsort")}) {
+    auto aggregator =
+        MakeVectorAggregator(label, AggregateFunction::kMedian, keys.size());
+    aggregator->Build(keys.data(), values.data(), keys.size());
+    for (const GroupResult& row : aggregator->Iterate()) {
+      EXPECT_GE(row.value, lo) << label;  // P3.
+      EXPECT_LE(row.value, hi) << label;
+    }
+  }
+}
+
+TEST_P(PropertySweep, AllOperatorsAgree) {
+  const Sweep& s = GetParam();
+  DatasetSpec spec{s.distribution, s.records, s.cardinality, 64};
+  const auto keys = GenerateKeys(spec);
+  const auto values = GenerateValues(keys.size(), 1000, 65);
+  VectorResult baseline;
+  for (const std::string& label : SerialLabels()) {
+    auto aggregator =
+        MakeVectorAggregator(label, AggregateFunction::kAverage, keys.size());
+    aggregator->Build(keys.data(), values.data(), keys.size());
+    auto result = aggregator->Iterate();
+    SortByKey(result);
+    if (baseline.empty()) {
+      baseline = std::move(result);
+      continue;
+    }
+    ASSERT_EQ(result.size(), baseline.size()) << label;  // P4.
+    for (size_t i = 0; i < result.size(); ++i) {
+      EXPECT_EQ(result[i].key, baseline[i].key) << label;
+      EXPECT_DOUBLE_EQ(result[i].value, baseline[i].value) << label;
+    }
+  }
+}
+
+TEST_P(PropertySweep, RangeIterateEqualsFilteredIterate) {
+  const Sweep& s = GetParam();
+  DatasetSpec spec{s.distribution, s.records, s.cardinality, 66};
+  const auto keys = GenerateKeys(spec);
+  const uint64_t lo = s.cardinality / 4;
+  const uint64_t hi = (3 * s.cardinality) / 4;
+  for (const std::string& label : TreeLabels()) {
+    auto aggregator =
+        MakeVectorAggregator(label, AggregateFunction::kCount, keys.size());
+    aggregator->Build(keys.data(), nullptr, keys.size());
+    auto full = aggregator->Iterate();
+    SortByKey(full);
+    VectorResult filtered;
+    for (const GroupResult& row : full) {
+      if (row.key >= lo && row.key <= hi) filtered.push_back(row);
+    }
+    auto ranged = aggregator->IterateRange(lo, hi);
+    SortByKey(ranged);
+    EXPECT_EQ(ranged, filtered) << label;  // P5.
+  }
+}
+
+std::vector<Sweep> AllSweeps() {
+  std::vector<Sweep> sweeps;
+  for (Distribution d : kAllDistributions) {
+    for (uint64_t cardinality : {64ULL, 512ULL, 4096ULL}) {
+      sweeps.push_back({d, 40000, cardinality});
+    }
+  }
+  // Size sweep at fixed cardinality.
+  sweeps.push_back({Distribution::kRseqShuffled, 1000, 64});
+  sweeps.push_back({Distribution::kRseqShuffled, 100000, 64});
+  return sweeps;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributionsAndCardinalities, PropertySweep,
+    ::testing::ValuesIn(AllSweeps()),
+    [](const ::testing::TestParamInfo<Sweep>& info) {
+      std::string name = DistributionName(info.param.distribution) + "_n" +
+                         std::to_string(info.param.records) + "_c" +
+                         std::to_string(info.param.cardinality);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace memagg

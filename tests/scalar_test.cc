@@ -1,0 +1,89 @@
+// Tests for the scalar aggregation operators (Q4-Q6, paper Section 5.7).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/engine.h"
+#include "core/scalar.h"
+#include "core/sorters.h"
+#include "data/dataset.h"
+#include "test_util.h"
+#include "tree/art.h"
+
+namespace memagg {
+namespace {
+
+TEST(StreamingCountTest, CountsRecords) {
+  StreamingCountAggregator aggregator;
+  const std::vector<uint64_t> keys = {1, 2, 3};
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_DOUBLE_EQ(aggregator.Finalize(), 6.0);
+}
+
+TEST(StreamingAverageTest, AveragesValues) {
+  StreamingAverageAggregator aggregator;
+  const std::vector<uint64_t> keys = {0, 0, 0, 0};
+  const std::vector<uint64_t> values = {1, 2, 3, 6};
+  aggregator.Build(keys.data(), values.data(), values.size());
+  EXPECT_DOUBLE_EQ(aggregator.Finalize(), 3.0);
+}
+
+TEST(ScalarMedianTest, OddCount) {
+  SortScalarMedianAggregator<IntrosortSorter> aggregator;
+  const std::vector<uint64_t> keys = {5, 1, 9};
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_DOUBLE_EQ(aggregator.Finalize(), 5.0);
+}
+
+TEST(ScalarMedianTest, EvenCountAveragesMiddles) {
+  SortScalarMedianAggregator<IntrosortSorter> aggregator;
+  const std::vector<uint64_t> keys = {5, 1, 9, 2};
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_DOUBLE_EQ(aggregator.Finalize(), 3.5);  // (2 + 5) / 2.
+}
+
+TEST(TreeScalarMedianTest, DuplicateHeavyColumn) {
+  TreeScalarMedianAggregator<ArtTree> aggregator;
+  // 10x "3", 1x "100": median is 3.
+  std::vector<uint64_t> keys(10, 3);
+  keys.push_back(100);
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_DOUBLE_EQ(aggregator.Finalize(), 3.0);
+}
+
+TEST(TreeScalarMedianTest, EvenCountAcrossTwoGroups) {
+  TreeScalarMedianAggregator<ArtTree> aggregator;
+  const std::vector<uint64_t> keys = {1, 1, 2, 2};
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  EXPECT_DOUBLE_EQ(aggregator.Finalize(), 1.5);
+}
+
+class ScalarMedianAcrossLabels : public ::testing::TestWithParam<std::string> {
+};
+
+TEST_P(ScalarMedianAcrossLabels, MatchesReferenceOnAllDistributions) {
+  for (Distribution d : kAllDistributions) {
+    DatasetSpec spec{d, 30001, 97, 31};  // Odd count: unambiguous median.
+    const auto keys = GenerateKeys(spec);
+    auto aggregator = MakeScalarMedianAggregator(GetParam());
+    aggregator->Build(keys.data(), nullptr, keys.size());
+    EXPECT_DOUBLE_EQ(aggregator->Finalize(), ReferenceMedian(keys))
+        << DistributionName(d);
+  }
+}
+
+TEST_P(ScalarMedianAcrossLabels, EvenRecordCount) {
+  DatasetSpec spec{Distribution::kRseqShuffled, 30000, 97, 32};
+  const auto keys = GenerateKeys(spec);
+  auto aggregator = MakeScalarMedianAggregator(GetParam());
+  aggregator->Build(keys.data(), nullptr, keys.size());
+  EXPECT_DOUBLE_EQ(aggregator->Finalize(), ReferenceMedian(keys));
+}
+
+INSTANTIATE_TEST_SUITE_P(TreesAndSorts, ScalarMedianAcrossLabels,
+                         ::testing::ValuesIn(ScalarCapableLabels()));
+
+}  // namespace
+}  // namespace memagg

@@ -1,0 +1,213 @@
+// Unit and property tests for the serial sort algorithms, checked against
+// std::sort across all micro distributions and adversarial inputs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sorters.h"
+#include "data/dataset.h"
+#include "sort/heapsort.h"
+#include "sort/insertion_sort.h"
+#include "sort/introsort.h"
+#include "sort/quicksort.h"
+#include "sort/radix_sort.h"
+#include "sort/sort_common.h"
+#include "sort/spreadsort.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+using KeySortFn = std::function<void(uint64_t*, uint64_t*)>;
+
+struct NamedSort {
+  std::string name;
+  KeySortFn fn;
+};
+
+std::vector<NamedSort> AllKeySorts() {
+  return {
+      {"Quicksort",
+       [](uint64_t* f, uint64_t* l) {
+         QuickSort(f, l, KeyLess<IdentityKey>{});
+       }},
+      {"Introsort",
+       [](uint64_t* f, uint64_t* l) {
+         IntroSort(f, l, KeyLess<IdentityKey>{});
+       }},
+      {"Heapsort",
+       [](uint64_t* f, uint64_t* l) { HeapSort(f, l, KeyLess<IdentityKey>{}); }},
+      {"InsertionSort",
+       [](uint64_t* f, uint64_t* l) {
+         InsertionSort(f, l, KeyLess<IdentityKey>{});
+       }},
+      {"MsbRadix",
+       [](uint64_t* f, uint64_t* l) { MsbRadixSort(f, l, IdentityKey{}); }},
+      {"LsbRadix",
+       [](uint64_t* f, uint64_t* l) { LsbRadixSort(f, l, IdentityKey{}); }},
+      {"Spreadsort",
+       [](uint64_t* f, uint64_t* l) { SpreadSort(f, l, IdentityKey{}); }},
+  };
+}
+
+class SortCorrectness : public ::testing::TestWithParam<int> {
+ protected:
+  NamedSort sort() const { return AllKeySorts()[GetParam()]; }
+};
+
+void ExpectSortsLike(const KeySortFn& fn, std::vector<uint64_t> input) {
+  std::vector<uint64_t> expected = input;
+  std::sort(expected.begin(), expected.end());
+  fn(input.data(), input.data() + input.size());
+  EXPECT_EQ(input, expected);
+}
+
+TEST_P(SortCorrectness, EmptyAndSingleton) {
+  ExpectSortsLike(sort().fn, {});
+  ExpectSortsLike(sort().fn, {42});
+}
+
+TEST_P(SortCorrectness, SmallFixed) {
+  ExpectSortsLike(sort().fn, {3, 1, 2});
+  ExpectSortsLike(sort().fn, {2, 2, 2, 2});
+  ExpectSortsLike(sort().fn, {5, 4, 3, 2, 1});
+  ExpectSortsLike(sort().fn, {1, 2, 3, 4, 5});
+}
+
+TEST_P(SortCorrectness, AllMicroDistributions) {
+  for (MicroDistribution d : kAllMicroDistributions) {
+    ExpectSortsLike(sort().fn, GenerateMicroKeys(d, 20000));
+  }
+}
+
+TEST_P(SortCorrectness, ExtremeValues) {
+  Rng rng(3);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 5000; ++i) {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        keys.push_back(0);
+        break;
+      case 1:
+        keys.push_back(~0ULL);
+        break;
+      case 2:
+        keys.push_back(rng.Next());
+        break;
+      default:
+        keys.push_back(rng.NextBounded(3));
+        break;
+    }
+  }
+  ExpectSortsLike(sort().fn, keys);
+}
+
+TEST_P(SortCorrectness, OrganPipe) {
+  // Ascending then descending: a classic quicksort stress shape.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 10000; ++i) keys.push_back(i);
+  for (uint64_t i = 10000; i-- > 0;) keys.push_back(i);
+  ExpectSortsLike(sort().fn, keys);
+}
+
+TEST_P(SortCorrectness, ManyDuplicatesFewDistinct) {
+  Rng rng(4);
+  std::vector<uint64_t> keys(50000);
+  for (auto& k : keys) k = rng.NextBounded(2);
+  ExpectSortsLike(sort().fn, keys);
+}
+
+TEST_P(SortCorrectness, SparseHighBits) {
+  // Keys that differ only in high bytes exercise radix pass skipping.
+  Rng rng(5);
+  std::vector<uint64_t> keys(20000);
+  for (auto& k : keys) k = rng.NextBounded(16) << 56;
+  ExpectSortsLike(sort().fn, keys);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSorts, SortCorrectness,
+                         ::testing::Range(0, 7),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return AllKeySorts()[info.param].name;
+                         });
+
+// --- Record (key, value) sorting used by the sort-based operators ---------
+
+using Record = std::pair<uint64_t, uint64_t>;
+
+template <typename Sorter>
+void ExpectRecordSortGroupsKeys(Sorter sorter) {
+  Rng rng(6);
+  std::vector<Record> records(30000);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    records[i] = {rng.NextBounded(500), i};
+  }
+  std::vector<Record> expected = records;
+  sorter(records.data(), records.data() + records.size(), PairFirstKey{});
+  // Keys must be sorted.
+  EXPECT_TRUE(std::is_sorted(
+      records.begin(), records.end(),
+      [](const Record& a, const Record& b) { return a.first < b.first; }));
+  // And the multiset of records preserved.
+  auto normalize = [](std::vector<Record> v) {
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(normalize(records), normalize(expected));
+}
+
+TEST(RecordSortTest, IntrosortGroupsRecords) {
+  ExpectRecordSortGroupsKeys(IntrosortSorter{});
+}
+
+TEST(RecordSortTest, SpreadsortGroupsRecords) {
+  ExpectRecordSortGroupsKeys(SpreadsortSorter{});
+}
+
+TEST(RecordSortTest, MsbRadixGroupsRecords) {
+  ExpectRecordSortGroupsKeys(MsbRadixSorter{});
+}
+
+TEST(RecordSortTest, LsbRadixGroupsRecords) {
+  ExpectRecordSortGroupsKeys(LsbRadixSorter{});
+}
+
+TEST(RecordSortTest, QuicksortGroupsRecords) {
+  ExpectRecordSortGroupsKeys(QuicksortSorter{});
+}
+
+TEST(LsbRadixTest, IsStable) {
+  // Equal keys must retain their input order (LSB radix is stable; the
+  // sort-based aggregators do not rely on it, but the property is part of
+  // the algorithm's contract).
+  std::vector<Record> records = {{2, 0}, {1, 1}, {2, 2}, {1, 3}, {2, 4}};
+  LsbRadixSort(records.data(), records.data() + records.size(),
+               PairFirstKey{});
+  EXPECT_EQ(records, (std::vector<Record>{
+                         {1, 1}, {1, 3}, {2, 0}, {2, 2}, {2, 4}}));
+}
+
+TEST(IntrosortTest, HandlesQuicksortKillerAdversary) {
+  // Median-of-three killer: organ-pipe-ish permutation that degrades plain
+  // quicksort; introsort's depth bound must keep it O(n log n). We only
+  // check correctness here (the time bound shows up as the test not hanging).
+  const int n = 1 << 16;
+  std::vector<uint64_t> keys(n);
+  // McIlroy-style antiquicksort approximation: interleave extremes.
+  for (int i = 0; i < n; ++i) {
+    keys[i] = (i % 2 == 0) ? static_cast<uint64_t>(i)
+                           : static_cast<uint64_t>(n - i);
+  }
+  ExpectSortsLike(
+      [](uint64_t* f, uint64_t* l) { IntroSort(f, l, KeyLess<IdentityKey>{}); },
+      keys);
+}
+
+}  // namespace
+}  // namespace memagg

@@ -1,0 +1,136 @@
+// Tests for the on-demand structure diagnostics (probe distances, chain
+// lengths, node populations, tree shapes).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "hash/chaining_map.h"
+#include "hash/linear_probing_map.h"
+#include "tree/art.h"
+#include "tree/btree.h"
+#include "tree/judy.h"
+#include "tree/ttree.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+TEST(ProbeStatsTest, EmptyTable) {
+  LinearProbingMap<uint64_t> map(64);
+  const auto stats = map.ComputeProbeStats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.max_probe, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_probe(), 0.0);
+}
+
+TEST(ProbeStatsTest, LowLoadHasShortProbes) {
+  LinearProbingMap<uint64_t> map(100000);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) map.GetOrInsert(rng.Next()) = 1;
+  const auto stats = map.ComputeProbeStats();
+  EXPECT_EQ(stats.entries, map.size());
+  EXPECT_LT(stats.average_probe(), 1.2);  // Nearly collision-free.
+  EXPECT_LT(stats.load_factor, 0.01);
+}
+
+TEST(ProbeStatsTest, HighLoadShowsClustering) {
+  // Exact-sized small table filled to just below the growth threshold.
+  LinearProbingMap<uint64_t> sparse_table(1 << 16);
+  LinearProbingMap<uint64_t> dense_table(4);  // Grows, ends near 0.7 load.
+  Rng rng(2);
+  for (int i = 0; i < 40000; ++i) {
+    const uint64_t key = rng.Next();
+    sparse_table.GetOrInsert(key) = 1;
+    dense_table.GetOrInsert(key) = 1;
+  }
+  const auto sparse_stats = sparse_table.ComputeProbeStats();
+  const auto dense_stats = dense_table.ComputeProbeStats();
+  EXPECT_GT(dense_stats.load_factor, sparse_stats.load_factor);
+  EXPECT_GT(dense_stats.average_probe(), sparse_stats.average_probe());
+}
+
+TEST(ChainStatsTest, CountsChains) {
+  ChainingMap<uint64_t> map(1000);
+  for (uint64_t k = 0; k < 500; ++k) map.GetOrInsert(k) = k;
+  const auto stats = map.ComputeChainStats();
+  EXPECT_GT(stats.used_buckets, 0u);
+  EXPECT_GE(stats.max_chain, 1u);
+  EXPECT_GE(stats.average_chain, 1.0);
+  // Average chain can't exceed max.
+  EXPECT_LE(stats.average_chain, static_cast<double>(stats.max_chain));
+}
+
+TEST(ChainStatsTest, UndersizedTableHasLongChains) {
+  ChainingMap<uint64_t> small(1000);
+  // Suppress growth by staying at load factor <= 1 relative to final bucket
+  // count; instead compare against a well-sized table.
+  ChainingMap<uint64_t> big(100000);
+  for (uint64_t k = 0; k < 900; ++k) {
+    small.GetOrInsert(k) = k;
+    big.GetOrInsert(k) = k;
+  }
+  EXPECT_GE(small.ComputeChainStats().average_chain,
+            big.ComputeChainStats().average_chain);
+}
+
+TEST(ArtStatsTest, DenseKeysUseBigNodes) {
+  ArtTree<uint64_t> tree;
+  for (uint64_t k = 0; k < 65536; ++k) tree.GetOrInsert(k) = k;
+  const auto stats = tree.ComputeNodeStats();
+  EXPECT_EQ(stats.leaves, 65536u);
+  // Dense byte fanout: Node256 dominates the populated levels.
+  EXPECT_GT(stats.node256, 200u);
+  EXPECT_GT(stats.total_prefix_bytes, 0u);  // Path compression engaged.
+  EXPECT_LE(stats.max_depth, 9u);           // <= 8 key bytes + root level.
+}
+
+TEST(ArtStatsTest, SparseKeysUseSmallNodes) {
+  ArtTree<uint64_t> tree;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) tree.GetOrInsert(rng.Next()) = 1;
+  const auto stats = tree.ComputeNodeStats();
+  EXPECT_EQ(stats.leaves, tree.size());
+  // Random 64-bit keys diverge early: almost everything is a Node4/16.
+  EXPECT_GT(stats.node4 + stats.node16, stats.node48 + stats.node256);
+}
+
+TEST(JudyStatsTest, CompressionAccounting) {
+  JudyArray<uint64_t> tree;
+  for (uint64_t k = 0; k < 100000; ++k) tree.GetOrInsert(k) = k;
+  const auto stats = tree.ComputeNodeStats();
+  EXPECT_GT(stats.bitmap_leaves, 0u);
+  EXPECT_GT(stats.bitmap_branches + stats.linear_branches, 0u);
+  EXPECT_GT(stats.total_skip_bytes, 0u);  // Narrow pointers in use.
+}
+
+TEST(BtreeStatsTest, HeightAndFill) {
+  BTree<uint64_t> tree;
+  const auto empty_stats = tree.ComputeTreeStats();
+  EXPECT_EQ(empty_stats.height, 0u);
+  for (uint64_t k = 0; k < 100000; ++k) tree.GetOrInsert(k) = k;
+  const auto stats = tree.ComputeTreeStats();
+  // log_8(1e5) ~ 5.5 levels at minimum half-full fanout 8.
+  EXPECT_GE(stats.height, 4u);
+  EXPECT_LE(stats.height, 8u);
+  EXPECT_GT(stats.leaves, 100000u / 16u);
+  EXPECT_GE(stats.leaf_fill, 0.5);  // Split-in-half => at least half full.
+  EXPECT_LE(stats.leaf_fill, 1.0);
+  EXPECT_GT(stats.inner_nodes, 0u);
+}
+
+TEST(TtreeStatsTest, AvlHeightBound) {
+  TTree<uint64_t> tree;
+  for (uint64_t k = 0; k < 100000; ++k) tree.GetOrInsert(k) = k;
+  const auto stats = tree.ComputeTreeStats();
+  EXPECT_GT(stats.nodes, 0u);
+  const double worst_avl =
+      1.44 * std::log2(static_cast<double>(stats.nodes)) + 2;
+  EXPECT_LE(static_cast<double>(stats.height), worst_avl);
+  EXPECT_GT(stats.node_fill, 0.4);
+  EXPECT_LE(stats.node_fill, 1.0);
+}
+
+}  // namespace
+}  // namespace memagg

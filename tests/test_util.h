@@ -1,0 +1,106 @@
+// Shared helpers for the integration tests: a naive reference implementation
+// of every aggregate over std::map, used as the oracle for all operators.
+
+#ifndef MEMAGG_TESTS_TEST_UTIL_H_
+#define MEMAGG_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/result.h"
+
+namespace memagg {
+
+/// Naive reference vector aggregation over std::map, with an optional key
+/// range filter.
+inline VectorResult ReferenceVectorAggregate(
+    const std::vector<uint64_t>& keys, const std::vector<uint64_t>& values,
+    AggregateFunction fn, uint64_t lo = 0, uint64_t hi = ~0ULL) {
+  std::map<uint64_t, std::vector<uint64_t>> groups;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    groups[keys[i]].push_back(values.empty() ? 0 : values[i]);
+  }
+  VectorResult result;
+  for (auto& [key, group_values] : groups) {
+    if (key < lo || key > hi) continue;
+    double value = 0.0;
+    switch (fn) {
+      case AggregateFunction::kCount:
+        value = static_cast<double>(group_values.size());
+        break;
+      case AggregateFunction::kSum: {
+        uint64_t sum = 0;
+        for (uint64_t v : group_values) sum += v;
+        value = static_cast<double>(sum);
+        break;
+      }
+      case AggregateFunction::kMin:
+        value = static_cast<double>(
+            *std::min_element(group_values.begin(), group_values.end()));
+        break;
+      case AggregateFunction::kMax:
+        value = static_cast<double>(
+            *std::max_element(group_values.begin(), group_values.end()));
+        break;
+      case AggregateFunction::kAverage: {
+        uint64_t sum = 0;
+        for (uint64_t v : group_values) sum += v;
+        value = static_cast<double>(sum) /
+                static_cast<double>(group_values.size());
+        break;
+      }
+      case AggregateFunction::kMedian: {
+        std::sort(group_values.begin(), group_values.end());
+        const size_t n = group_values.size();
+        value = (n % 2 == 1)
+                    ? static_cast<double>(group_values[n / 2])
+                    : (static_cast<double>(group_values[n / 2 - 1]) +
+                       static_cast<double>(group_values[n / 2])) /
+                          2.0;
+        break;
+      }
+      case AggregateFunction::kMode: {
+        std::sort(group_values.begin(), group_values.end());
+        uint64_t best = group_values[0];
+        size_t best_run = 1;
+        size_t run = 1;
+        for (size_t i = 1; i < group_values.size(); ++i) {
+          run = group_values[i] == group_values[i - 1] ? run + 1 : 1;
+          if (run > best_run) {
+            best_run = run;
+            best = group_values[i];
+          }
+        }
+        value = static_cast<double>(best);
+        break;
+      }
+    }
+    result.push_back({key, value});
+  }
+  return result;
+}
+
+/// Naive reference median of a column.
+inline double ReferenceMedian(std::vector<uint64_t> column) {
+  std::sort(column.begin(), column.end());
+  const size_t n = column.size();
+  return (n % 2 == 1) ? static_cast<double>(column[n / 2])
+                      : (static_cast<double>(column[n / 2 - 1]) +
+                         static_cast<double>(column[n / 2])) /
+                            2.0;
+}
+
+/// Sorts a vector result by key (hash operators emit arbitrary order).
+inline void SortByKey(VectorResult& result) {
+  std::sort(result.begin(), result.end(),
+            [](const GroupResult& a, const GroupResult& b) {
+              return a.key < b.key;
+            });
+}
+
+}  // namespace memagg
+
+#endif  // MEMAGG_TESTS_TEST_UTIL_H_

@@ -1,0 +1,280 @@
+// Unit tests for the utility layer: bits, rng, prime, cli, thread pool,
+// memory tracker, cycle timer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/cli.h"
+#include "util/cycle_timer.h"
+#include "util/memory_tracker.h"
+#include "util/prime.h"
+#include "util/rng.h"
+#include "util/spinlock.h"
+#include "util/thread_pool.h"
+
+namespace memagg {
+namespace {
+
+TEST(BitsTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(4), 4u);
+  EXPECT_EQ(NextPowerOfTwo(5), 8u);
+  EXPECT_EQ(NextPowerOfTwo(1000), 1024u);
+  EXPECT_EQ(NextPowerOfTwo(1ULL << 40), 1ULL << 40);
+  EXPECT_EQ(NextPowerOfTwo((1ULL << 40) + 1), 1ULL << 41);
+}
+
+TEST(BitsTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor(1), 0);
+  EXPECT_EQ(Log2Floor(2), 1);
+  EXPECT_EQ(Log2Floor(3), 1);
+  EXPECT_EQ(Log2Floor(4), 2);
+  EXPECT_EQ(Log2Floor(1023), 9);
+  EXPECT_EQ(Log2Floor(1024), 10);
+  EXPECT_EQ(Log2Floor(~0ULL), 63);
+}
+
+TEST(BitsTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil(1), 0);
+  EXPECT_EQ(Log2Ceil(2), 1);
+  EXPECT_EQ(Log2Ceil(3), 2);
+  EXPECT_EQ(Log2Ceil(4), 2);
+  EXPECT_EQ(Log2Ceil(5), 3);
+  EXPECT_EQ(Log2Ceil(1024), 10);
+  EXPECT_EQ(Log2Ceil(1025), 11);
+}
+
+TEST(BitsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(1ULL << 63));
+  EXPECT_FALSE(IsPowerOfTwo((1ULL << 63) + 1));
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng;
+  for (uint64_t bound : {1ULL, 2ULL, 5ULL, 7ULL, 100ULL, 1000000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, NextBoundedCoversRange) {
+  Rng rng;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng;
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextInRange(10, 12));
+  EXPECT_EQ(seen, (std::set<uint64_t>{10, 11, 12}));
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Rng rng;
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(PrimeTest, IsPrimeSmall) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(5));
+  EXPECT_FALSE(IsPrime(9));
+  EXPECT_TRUE(IsPrime(97));
+  EXPECT_FALSE(IsPrime(91));  // 7 * 13
+}
+
+TEST(PrimeTest, IsPrimeLarge) {
+  EXPECT_TRUE(IsPrime(1000000007ULL));
+  EXPECT_TRUE(IsPrime(1000000009ULL));
+  EXPECT_FALSE(IsPrime(1000000007ULL * 3));
+  // Largest 64-bit prime.
+  EXPECT_TRUE(IsPrime(18446744073709551557ULL));
+  // Carmichael number (561 = 3*11*17) must not fool the test.
+  EXPECT_FALSE(IsPrime(561));
+  EXPECT_FALSE(IsPrime(1729));
+}
+
+TEST(PrimeTest, NextPrime) {
+  EXPECT_EQ(NextPrime(0), 2u);
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(3), 3u);
+  EXPECT_EQ(NextPrime(4), 5u);
+  EXPECT_EQ(NextPrime(90), 97u);
+  EXPECT_EQ(NextPrime(1000000), 1000003u);
+}
+
+TEST(CliTest, ParsesFlags) {
+  const char* argv[] = {"prog", "--records=4000000", "--datasets=Rseq,Zipf",
+                        "--verbose", "--ratio=0.5"};
+  CliFlags flags(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("records", 0), 4000000);
+  EXPECT_EQ(flags.GetList("datasets", {}),
+            (std::vector<std::string>{"Rseq", "Zipf"}));
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.0), 0.5);
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_EQ(flags.GetString("missing", "dflt"), "dflt");
+  EXPECT_FALSE(flags.Has("missing"));
+  EXPECT_TRUE(flags.Has("records"));
+}
+
+TEST(CliTest, ParseHumanInt) {
+  EXPECT_EQ(ParseHumanInt("123"), 123);
+  EXPECT_EQ(ParseHumanInt("4e6"), 4000000);
+  EXPECT_EQ(ParseHumanInt("10M"), 10000000);
+  EXPECT_EQ(ParseHumanInt("100k"), 100000);
+  EXPECT_EQ(ParseHumanInt("2G"), 2000000000);
+  EXPECT_EQ(ParseHumanInt("1.5M"), 1500000);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.Submit([&pool, &count] {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&pool, &count] {
+        count.fetch_add(1);
+        pool.Submit([&count] { count.fetch_add(1); });
+      });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelFor) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&hits](int64_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // Must not hang.
+  SUCCEED();
+}
+
+TEST(SpinLockTest, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&lock, &counter] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLockTest, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(CycleTimerTest, MeasuresElapsedTime) {
+  CycleTimer timer;
+  timer.Start();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  timer.Stop();
+  EXPECT_GT(timer.ElapsedCycles(), 0u);
+  EXPECT_GT(timer.ElapsedMillis(), 0.0);
+  EXPECT_DOUBLE_EQ(timer.ElapsedSeconds(), timer.ElapsedMillis() / 1000.0);
+}
+
+TEST(MemoryTrackerTest, RssReadable) {
+  const uint64_t rss = CurrentRssBytes();
+  const uint64_t peak = PeakRssBytes();
+  EXPECT_GT(rss, 0u);
+  EXPECT_GE(peak, rss / 2);  // Peak is at least in the same ballpark.
+}
+
+TEST(MemoryTrackerTest, ChildMeasurementSeesAllocation) {
+  const uint64_t baseline = MeasurePeakRssInChild([] {});
+  ASSERT_GT(baseline, 0u);
+  constexpr size_t kAllocation = 64 << 20;  // 64 MiB.
+  const uint64_t with_alloc = MeasurePeakRssInChild([] {
+    std::vector<char> block(kAllocation, 1);
+    // Touch every page so it is resident.
+    volatile char sink = 0;
+    for (size_t i = 0; i < block.size(); i += 4096) sink += block[i];
+  });
+  EXPECT_GT(with_alloc, baseline + kAllocation / 2);
+}
+
+}  // namespace
+}  // namespace memagg

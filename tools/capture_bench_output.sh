@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Captures one complete row set for every bench binary into bench_output.txt,
+# at container-friendly sizes (full-scale CSVs live under results/).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+{
+  echo "# memagg bench_output: every paper table/figure at reduced container"
+  echo "# scale (see results/ for 4M/10M-record CSVs and EXPERIMENTS.md for"
+  echo "# the paper-vs-measured analysis)."
+  run() { echo; echo "===== $1 ====="; shift; "$@"; }
+  run bench_sort_micro    build/bench/bench_sort_micro    --records=2M
+  run bench_ds_micro      build/bench/bench_ds_micro      --records=2M
+  run bench_vector_q1     build/bench/bench_vector_q1     --records=1M
+  run bench_vector_q2     build/bench/bench_vector_q2     --records=1M
+  run bench_vector_q3     build/bench/bench_vector_q3     --records=1M
+  run bench_cache_tlb     build/bench/bench_cache_tlb     --records=500k
+  run bench_memory        build/bench/bench_memory        --sizes=100k,1M
+  run bench_distribution  build/bench/bench_distribution  --records=1M
+  run bench_range_q7      build/bench/bench_range_q7      --records=1M
+  run bench_scalar_q6     build/bench/bench_scalar_q6     --records=1M
+  run bench_parallel_sort build/bench/bench_parallel_sort --records=2M --max_threads=4
+  run bench_mt_scaling    build/bench/bench_mt_scaling    --records=1M --max_threads=4
+  run bench_ablation      build/bench/bench_ablation      --records=1M
+  run bench_primitives    build/bench/bench_primitives    --benchmark_min_time=0.05
+} 2>&1 | tee bench_output.txt

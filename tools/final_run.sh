@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Final verification run: full test suite + every benchmark binary, with
+# outputs captured at the repo root (test_output.txt, bench_output.txt).
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===== $b ====="
+    "$b"
+    echo
+  done
+} 2>&1 | tee bench_output.txt

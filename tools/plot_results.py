@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Renders memagg bench CSVs as ASCII charts for quick shape inspection.
+
+Usage:
+  tools/plot_results.py results/bench_vector_q1.csv --dataset=Rseq
+  tools/plot_results.py results/bench_sort_micro.csv
+
+Detects the bench type from the CSV header and draws either grouped bars
+(one metric per row) or per-algorithm series over the x column. Only needs
+the standard library, so it runs anywhere the benches do.
+"""
+
+import argparse
+import csv
+import sys
+from collections import defaultdict
+
+BAR_WIDTH = 60
+
+
+def read_rows(path):
+    rows = []
+    with open(path) as handle:
+        header = None
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if header is None:
+                header = line.split(",")
+                continue
+            rows.append(dict(zip(header, line.split(","))))
+    return header or [], rows
+
+
+def bar(value, peak):
+    if peak <= 0:
+        return ""
+    return "#" * max(1, int(BAR_WIDTH * value / peak))
+
+
+def pick_metric(header):
+    for name in ("total_cycles", "time_ms", "build_cycles", "peak_rss_mb",
+                 "cache_misses", "total_ms", "range_cycles"):
+        if name in header:
+            return name
+    return header[-1]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--dataset", help="filter rows by dataset column")
+    parser.add_argument("--query", help="filter rows by query column")
+    parser.add_argument("--metric", help="override the plotted column")
+    args = parser.parse_args()
+
+    header, rows = read_rows(args.csv_path)
+    if not rows:
+        sys.exit("no data rows found")
+    if args.dataset and "dataset" in header:
+        rows = [r for r in rows if r["dataset"] == args.dataset]
+    if args.query and "query" in header:
+        rows = [r for r in rows if r["query"] == args.query]
+    if not rows:
+        sys.exit("all rows filtered out")
+
+    metric = args.metric or pick_metric(header)
+    values = [float(r[metric]) for r in rows]
+    peak = max(values)
+
+    # Group rows by every non-metric, non-algorithm dimension so each group
+    # prints as one chart.
+    group_cols = [c for c in header
+                  if c not in (metric, "algorithm", "structure", "policy")
+                  and not c.endswith("_ms") and not c.endswith("cycles")
+                  and c != "median" and c != "groups" and c != "mode"
+                  and c != "available" and c != "sort_mode"
+                  and c != "ds_bytes_mb"]
+    label_col = next((c for c in ("algorithm", "structure", "policy")
+                      if c in header), header[0])
+
+    charts = defaultdict(list)
+    for row in rows:
+        key = tuple(row.get(c, "") for c in group_cols)
+        charts[key].append(row)
+
+    for key, chart_rows in charts.items():
+        title = ", ".join(f"{c}={v}" for c, v in zip(group_cols, key))
+        print(f"\n== {title} [{metric}] ==")
+        for row in chart_rows:
+            value = float(row[metric])
+            print(f"  {row[label_col]:<22} {value:>14.1f} {bar(value, peak)}")
+
+
+if __name__ == "__main__":
+    main()

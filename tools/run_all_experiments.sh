@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure into results/.
+#
+# Usage: tools/run_all_experiments.sh [records] [build_dir]
+#   records   dataset size for the main sweeps (default 4M; paper scale 100M)
+#   build_dir CMake build directory (default ./build)
+set -euo pipefail
+
+RECORDS="${1:-4M}"
+BUILD="${2:-build}"
+OUT=results
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"
+  shift
+  echo ">>> $name $*"
+  "$BUILD/bench/$name" "$@" > "$OUT/$name.csv"
+}
+
+run bench_sort_micro                              # Figure 2 (10M default)
+run bench_ds_micro                                # Figure 3 (10M default)
+run bench_vector_q1    --records="$RECORDS"       # Figure 4
+run bench_vector_q3    --records="$RECORDS"       # Figure 5
+run bench_cache_tlb                               # Figure 6 (perf or sim)
+run bench_memory                                  # Tables 6-7
+run bench_distribution --records="$RECORDS"       # Figure 7
+run bench_range_q7     --records="$RECORDS"       # Figure 8
+run bench_scalar_q6    --records="$RECORDS"       # Figure 9
+run bench_parallel_sort                           # Figure 10
+run bench_mt_scaling   --records="$RECORDS"       # Figure 11
+run bench_vector_q2    --records="$RECORDS"       # Q2 companion
+run bench_ablation     --records="$RECORDS"       # DESIGN.md ablations
+
+echo "All experiment outputs written to $OUT/."

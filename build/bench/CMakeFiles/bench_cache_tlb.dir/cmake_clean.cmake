@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_tlb.dir/bench_cache_tlb.cc.o"
+  "CMakeFiles/bench_cache_tlb.dir/bench_cache_tlb.cc.o.d"
+  "bench_cache_tlb"
+  "bench_cache_tlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mt_scaling.dir/bench_mt_scaling.cc.o"
+  "CMakeFiles/bench_mt_scaling.dir/bench_mt_scaling.cc.o.d"
+  "bench_mt_scaling"
+  "bench_mt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_sort.dir/bench_parallel_sort.cc.o"
+  "CMakeFiles/bench_parallel_sort.dir/bench_parallel_sort.cc.o.d"
+  "bench_parallel_sort"
+  "bench_parallel_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

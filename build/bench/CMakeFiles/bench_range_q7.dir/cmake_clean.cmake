@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_q7.dir/bench_range_q7.cc.o"
+  "CMakeFiles/bench_range_q7.dir/bench_range_q7.cc.o.d"
+  "bench_range_q7"
+  "bench_range_q7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_q7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

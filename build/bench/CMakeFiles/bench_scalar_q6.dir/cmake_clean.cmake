@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalar_q6.dir/bench_scalar_q6.cc.o"
+  "CMakeFiles/bench_scalar_q6.dir/bench_scalar_q6.cc.o.d"
+  "bench_scalar_q6"
+  "bench_scalar_q6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalar_q6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vector_q2.dir/bench_vector_q2.cc.o"
+  "CMakeFiles/bench_vector_q2.dir/bench_vector_q2.cc.o.d"
+  "bench_vector_q2"
+  "bench_vector_q2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vector_q2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_median.dir/sensor_median.cc.o"
+  "CMakeFiles/sensor_median.dir/sensor_median.cc.o.d"
+  "sensor_median"
+  "sensor_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_pricing.dir/tpch_pricing.cc.o"
+  "CMakeFiles/tpch_pricing.dir/tpch_pricing.cc.o.d"
+  "tpch_pricing"
+  "tpch_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

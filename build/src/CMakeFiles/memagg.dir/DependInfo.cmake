@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/memagg.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/memagg.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/memagg.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/memagg.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/memagg.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/memagg.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/groupby.cc" "src/CMakeFiles/memagg.dir/core/groupby.cc.o" "gcc" "src/CMakeFiles/memagg.dir/core/groupby.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/memagg.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/memagg.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/zipf.cc" "src/CMakeFiles/memagg.dir/data/zipf.cc.o" "gcc" "src/CMakeFiles/memagg.dir/data/zipf.cc.o.d"
+  "/root/repo/src/sim/cache_model.cc" "src/CMakeFiles/memagg.dir/sim/cache_model.cc.o" "gcc" "src/CMakeFiles/memagg.dir/sim/cache_model.cc.o.d"
+  "/root/repo/src/sim/sim_tracer.cc" "src/CMakeFiles/memagg.dir/sim/sim_tracer.cc.o" "gcc" "src/CMakeFiles/memagg.dir/sim/sim_tracer.cc.o.d"
+  "/root/repo/src/sim/traced_engine.cc" "src/CMakeFiles/memagg.dir/sim/traced_engine.cc.o" "gcc" "src/CMakeFiles/memagg.dir/sim/traced_engine.cc.o.d"
+  "/root/repo/src/util/cli.cc" "src/CMakeFiles/memagg.dir/util/cli.cc.o" "gcc" "src/CMakeFiles/memagg.dir/util/cli.cc.o.d"
+  "/root/repo/src/util/memory_tracker.cc" "src/CMakeFiles/memagg.dir/util/memory_tracker.cc.o" "gcc" "src/CMakeFiles/memagg.dir/util/memory_tracker.cc.o.d"
+  "/root/repo/src/util/perf_counters.cc" "src/CMakeFiles/memagg.dir/util/perf_counters.cc.o" "gcc" "src/CMakeFiles/memagg.dir/util/perf_counters.cc.o.d"
+  "/root/repo/src/util/prime.cc" "src/CMakeFiles/memagg.dir/util/prime.cc.o" "gcc" "src/CMakeFiles/memagg.dir/util/prime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

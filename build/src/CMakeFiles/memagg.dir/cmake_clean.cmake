@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memagg.dir/core/advisor.cc.o"
+  "CMakeFiles/memagg.dir/core/advisor.cc.o.d"
+  "CMakeFiles/memagg.dir/core/engine.cc.o"
+  "CMakeFiles/memagg.dir/core/engine.cc.o.d"
+  "CMakeFiles/memagg.dir/core/experiment.cc.o"
+  "CMakeFiles/memagg.dir/core/experiment.cc.o.d"
+  "CMakeFiles/memagg.dir/core/groupby.cc.o"
+  "CMakeFiles/memagg.dir/core/groupby.cc.o.d"
+  "CMakeFiles/memagg.dir/data/dataset.cc.o"
+  "CMakeFiles/memagg.dir/data/dataset.cc.o.d"
+  "CMakeFiles/memagg.dir/data/zipf.cc.o"
+  "CMakeFiles/memagg.dir/data/zipf.cc.o.d"
+  "CMakeFiles/memagg.dir/sim/cache_model.cc.o"
+  "CMakeFiles/memagg.dir/sim/cache_model.cc.o.d"
+  "CMakeFiles/memagg.dir/sim/sim_tracer.cc.o"
+  "CMakeFiles/memagg.dir/sim/sim_tracer.cc.o.d"
+  "CMakeFiles/memagg.dir/sim/traced_engine.cc.o"
+  "CMakeFiles/memagg.dir/sim/traced_engine.cc.o.d"
+  "CMakeFiles/memagg.dir/util/cli.cc.o"
+  "CMakeFiles/memagg.dir/util/cli.cc.o.d"
+  "CMakeFiles/memagg.dir/util/memory_tracker.cc.o"
+  "CMakeFiles/memagg.dir/util/memory_tracker.cc.o.d"
+  "CMakeFiles/memagg.dir/util/perf_counters.cc.o"
+  "CMakeFiles/memagg.dir/util/perf_counters.cc.o.d"
+  "CMakeFiles/memagg.dir/util/prime.cc.o"
+  "CMakeFiles/memagg.dir/util/prime.cc.o.d"
+  "libmemagg.a"
+  "libmemagg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memagg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/composite_key_test.dir/composite_key_test.cc.o"
+  "CMakeFiles/composite_key_test.dir/composite_key_test.cc.o.d"
+  "composite_key_test"
+  "composite_key_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/composite_key_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

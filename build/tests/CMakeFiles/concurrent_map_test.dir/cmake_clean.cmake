@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_map_test.dir/concurrent_map_test.cc.o"
+  "CMakeFiles/concurrent_map_test.dir/concurrent_map_test.cc.o.d"
+  "concurrent_map_test"
+  "concurrent_map_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_map_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

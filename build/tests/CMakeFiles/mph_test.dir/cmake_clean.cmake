@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mph_test.dir/mph_test.cc.o"
+  "CMakeFiles/mph_test.dir/mph_test.cc.o.d"
+  "mph_test"
+  "mph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -12,6 +12,8 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "exec/executor.h"
+#include "exec/task_scheduler.h"
 
 namespace memagg {
 namespace {
@@ -21,6 +23,10 @@ int Run(int argc, char** argv) {
   const uint64_t records =
       static_cast<uint64_t>(flags.GetInt("records", 4000000));
   const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
+  // --distribution=Zipf exercises the skewed regime where morsel-driven
+  // claiming beats static chunking (paper Dimension 3 x Dimension 6).
+  const Distribution distribution =
+      DistributionFromName(flags.GetString("distribution", "Rseq"));
   std::vector<uint64_t> cardinalities;
   for (const std::string& text :
        flags.GetList("cardinalities", {"1000", "1000000"})) {
@@ -35,25 +41,34 @@ int Run(int argc, char** argv) {
   const auto labels = flags.GetList("algorithms", default_labels);
   const auto values = GenerateValues(records, 1000000, 87);
 
-  PrintBanner("Figure 11: Multithreaded Scaling - Rseq " +
+  // Start the shared morsel scheduler before the measured region: after this
+  // warm-up no query should create any thread (new_threads column == 0).
+  WarmUpScheduler();
+
+  PrintBanner("Figure 11: Multithreaded Scaling - " +
+                  DistributionName(distribution) + " " +
                   std::to_string(records) + " records",
               "query execution cycles vs thread count, Q1 and Q3");
-  std::printf("query,cardinality,algorithm,threads,total_cycles,total_ms\n");
+  std::printf(
+      "query,cardinality,algorithm,threads,total_cycles,total_ms,"
+      "new_threads\n");
 
   for (const char* query : {"Q1", "Q3"}) {
     const bool holistic = std::string(query) == "Q3";
     for (uint64_t cardinality : cardinalities) {
       if (cardinality > records) continue;
-      DatasetSpec spec{Distribution::kRseq, records, cardinality, 88};
+      DatasetSpec spec{distribution, records, cardinality, 88};
       if (!IsValidSpec(spec)) continue;
       const auto keys = GenerateKeys(spec);
       for (const std::string& label : labels) {
         for (int threads = 1; threads <= max_threads; ++threads) {
+          const uint64_t threads_before =
+              TaskScheduler::Global().stats().threads_created;
           auto aggregator = MakeVectorAggregator(
               label,
               holistic ? AggregateFunction::kMedian
                        : AggregateFunction::kCount,
-              records, threads);
+              records, ExecutionContext{threads});
           const BenchTiming build = TimeOnce([&] {
             aggregator->Build(keys.data(),
                               holistic ? values.data() : nullptr, keys.size());
@@ -61,12 +76,15 @@ int Run(int argc, char** argv) {
           VectorResult result;
           const BenchTiming iterate =
               TimeOnce([&] { result = aggregator->Iterate(); });
-          std::printf("%s,%llu,%s,%d,%llu,%.1f\n", query,
+          const uint64_t new_threads =
+              TaskScheduler::Global().stats().threads_created - threads_before;
+          std::printf("%s,%llu,%s,%d,%llu,%.1f,%llu\n", query,
                       static_cast<unsigned long long>(cardinality),
                       label.c_str(), threads,
                       static_cast<unsigned long long>(build.cycles +
                                                       iterate.cycles),
-                      build.millis + iterate.millis);
+                      build.millis + iterate.millis,
+                      static_cast<unsigned long long>(new_threads));
           std::fflush(stdout);
         }
       }

@@ -15,6 +15,7 @@
 #include "bench_common.h"
 #include "core/sorters.h"
 #include "data/dataset.h"
+#include "exec/executor.h"
 
 namespace memagg {
 namespace {
@@ -31,6 +32,8 @@ int Run(int argc, char** argv) {
   const int max_threads = static_cast<int>(flags.GetInt("max_threads", 8));
   const auto input =
       GenerateMicroKeys(MicroDistribution::kRandom1To1M, records);
+  // Start the shared pool outside the measured sorts.
+  WarmUpScheduler();
 
   const std::vector<NamedParallelSort> parallel_sorts = {
       {"Sort_BI",

@@ -26,9 +26,10 @@ namespace memagg {
 namespace {
 
 template <typename Aggregate>
-std::unique_ptr<VectorAggregator> MakeForAggregate(const std::string& label,
-                                                   size_t expected_size,
-                                                   int num_threads) {
+std::unique_ptr<VectorAggregator> MakeForAggregate(
+    const std::string& label, size_t expected_size,
+    const ExecutionContext& exec) {
+  const int num_threads = exec.num_threads;
   // --- Hash-based (Table 3 / Table 8) ---
   if (label == "Hash_LP") {
     MEMAGG_CHECK(num_threads == 1);
@@ -55,31 +56,31 @@ std::unique_ptr<VectorAggregator> MakeForAggregate(const std::string& label,
       return std::make_unique<HashVectorAggregator<CuckooMap, Aggregate>>(
           expected_size);
     }
-    return std::make_unique<CuckooParallelAggregator<Aggregate>>(expected_size,
-                                                                 num_threads);
+    return std::make_unique<CuckooParallelAggregator<Aggregate>>(
+        expected_size, exec);
   }
   if (label == "Hash_TBBSC") {
     using Concurrent = typename ConcurrentAggregateFor<Aggregate>::type;
     return std::make_unique<TbbStyleParallelAggregator<Concurrent>>(
-        expected_size, num_threads);
+        expected_size, exec);
   }
 
   // --- Extensions beyond the paper's Table 3 ---
   if (label == "Hybrid") {
-    MEMAGG_CHECK(num_threads == 1);
-    return std::make_unique<HybridVectorAggregator<Aggregate>>(expected_size);
+    return std::make_unique<HybridVectorAggregator<Aggregate>>(expected_size,
+                                                               exec);
   }
   if (label == "Hash_PLocal") {
-    return std::make_unique<LocalPartitionAggregator<Aggregate>>(expected_size,
-                                                                 num_threads);
+    return std::make_unique<LocalPartitionAggregator<Aggregate>>(
+        expected_size, exec);
   }
   if (label == "Hash_Striped") {
     return std::make_unique<StripedParallelAggregator<Aggregate>>(
-        expected_size, num_threads);
+        expected_size, exec);
   }
   if (label == "Hash_PRadix") {
     return std::make_unique<RadixPartitionAggregator<Aggregate>>(
-        expected_size, num_threads);
+        expected_size, exec);
   }
   if (label == "Hash_MPH") {
     MEMAGG_CHECK(num_threads == 1);
@@ -201,33 +202,30 @@ const std::vector<std::string>& ScalarCapableLabels() {
 
 std::unique_ptr<VectorAggregator> MakeVectorAggregator(
     const std::string& label, AggregateFunction function, size_t expected_size,
-    int num_threads) {
+    const ExecutionContext& exec) {
   switch (function) {
     case AggregateFunction::kCount:
-      return MakeForAggregate<CountAggregate>(label, expected_size,
-                                              num_threads);
+      return MakeForAggregate<CountAggregate>(label, expected_size, exec);
     case AggregateFunction::kSum:
-      return MakeForAggregate<SumAggregate>(label, expected_size, num_threads);
+      return MakeForAggregate<SumAggregate>(label, expected_size, exec);
     case AggregateFunction::kMin:
-      return MakeForAggregate<MinAggregate>(label, expected_size, num_threads);
+      return MakeForAggregate<MinAggregate>(label, expected_size, exec);
     case AggregateFunction::kMax:
-      return MakeForAggregate<MaxAggregate>(label, expected_size, num_threads);
+      return MakeForAggregate<MaxAggregate>(label, expected_size, exec);
     case AggregateFunction::kAverage:
-      return MakeForAggregate<AverageAggregate>(label, expected_size,
-                                                num_threads);
+      return MakeForAggregate<AverageAggregate>(label, expected_size, exec);
     case AggregateFunction::kMedian:
-      return MakeForAggregate<MedianAggregate>(label, expected_size,
-                                               num_threads);
+      return MakeForAggregate<MedianAggregate>(label, expected_size, exec);
     case AggregateFunction::kMode:
-      return MakeForAggregate<ModeAggregate>(label, expected_size,
-                                             num_threads);
+      return MakeForAggregate<ModeAggregate>(label, expected_size, exec);
   }
   MEMAGG_CHECK(false);
   return nullptr;
 }
 
 std::unique_ptr<ScalarAggregator> MakeScalarMedianAggregator(
-    const std::string& label, int num_threads) {
+    const std::string& label, const ExecutionContext& exec) {
+  const int num_threads = exec.num_threads;
   if (label == "ART") {
     return std::make_unique<TreeScalarMedianAggregator<ArtTree>>();
   }

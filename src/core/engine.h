@@ -19,6 +19,7 @@
 
 #include "core/aggregate.h"
 #include "core/operator.h"
+#include "exec/executor.h"
 
 namespace memagg {
 
@@ -42,16 +43,20 @@ const std::vector<std::string>& ScalarCapableLabels();
 
 /// Creates a vector-aggregation operator for `label` computing `function`.
 /// `expected_size` pre-sizes hash tables (pass the record count, per the
-/// paper's assumption). `num_threads` > 1 selects the concurrent variant for
-/// concurrent-capable labels (Hash_TBBSC, Hash_LC, Sort_BI, Sort_QSLB,
-/// Sort_SS, Sort_TBB); serial-only labels require num_threads == 1.
+/// paper's assumption). `exec` carries the thread budget (an int converts
+/// implicitly): num_threads > 1 selects the concurrent variant for
+/// concurrent-capable labels (Hash_TBBSC, Hash_LC, Hybrid, Sort_BI,
+/// Sort_QSLB, Sort_SS, Sort_TBB and the Hash_P*/Hash_Striped extensions);
+/// serial-only labels require num_threads == 1. All parallel operators run
+/// on the shared morsel-driven scheduler (src/exec/) — no operator spawns
+/// threads of its own.
 std::unique_ptr<VectorAggregator> MakeVectorAggregator(
     const std::string& label, AggregateFunction function, size_t expected_size,
-    int num_threads = 1);
+    const ExecutionContext& exec = {});
 
 /// Creates a scalar-median (Q6) operator for a tree or sort label.
 std::unique_ptr<ScalarAggregator> MakeScalarMedianAggregator(
-    const std::string& label, int num_threads = 1);
+    const std::string& label, const ExecutionContext& exec = {});
 
 }  // namespace memagg
 

@@ -29,7 +29,9 @@
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "exec/executor.h"
 #include "hash/linear_probing_map.h"
+#include "sort/block_indirect_sort.h"
 #include "sort/sort_common.h"
 #include "sort/spreadsort.h"
 
@@ -44,9 +46,18 @@ class HybridVectorAggregator final : public VectorAggregator {
   /// `max_hash_groups` is the switch threshold: once the hash table holds
   /// this many groups the operator flushes to sort mode. The default keeps
   /// the table inside a ~1 MB L2 cache (16-byte slots at 70% load).
-  explicit HybridVectorAggregator(size_t /*expected_size*/ = 0,
+  explicit HybridVectorAggregator(size_t expected_size = 0,
                                   size_t max_hash_groups = 44000)
-      : max_hash_groups_(max_hash_groups), map_(2 * max_hash_groups) {}
+      : HybridVectorAggregator(expected_size, ExecutionContext{},
+                               max_hash_groups) {}
+
+  /// With `exec.num_threads > 1` the sort-mode final sort runs on the
+  /// morsel executor (Sort_BI); the hash phase stays serial.
+  HybridVectorAggregator(size_t /*expected_size*/, ExecutionContext exec,
+                         size_t max_hash_groups = 44000)
+      : exec_(exec),
+        max_hash_groups_(max_hash_groups),
+        map_(2 * max_hash_groups) {}
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
@@ -125,8 +136,13 @@ class HybridVectorAggregator final : public VectorAggregator {
   }
 
   VectorResult SortedIterate() {
-    SpreadSort(records_.data(), records_.data() + records_.size(),
-               PairFirstKey{});
+    if (exec_.num_threads > 1) {
+      BlockIndirectSort(records_.data(), records_.data() + records_.size(),
+                        KeyLess<PairFirstKey>{}, exec_.num_threads);
+    } else {
+      SpreadSort(records_.data(), records_.data() + records_.size(),
+                 PairFirstKey{});
+    }
     VectorResult result;
     if constexpr (kHolistic) {
       // Pure run aggregation (partials_ is unused for holistic policies).
@@ -194,6 +210,7 @@ class HybridVectorAggregator final : public VectorAggregator {
     return result;
   }
 
+  ExecutionContext exec_;
   size_t max_hash_groups_;
   LinearProbingMap<State> map_;
   std::vector<std::pair<uint64_t, uint64_t>> records_;

@@ -4,9 +4,10 @@
 // aggregation: should threads share one concurrent structure, or work
 // independently and merge (Cieslewicz & Ross VLDB'07; Ye et al.'s PLAT)?
 // The Table 8 operators answer "share"; this operator implements the
-// "independent" strategy so the two can be compared: each thread aggregates
-// its input slice into a private linear-probing table (no synchronization at
-// all during the build), and the iterate phase merges the per-thread tables.
+// "independent" strategy so the two can be compared: each worker aggregates
+// the morsels it claims into a private linear-probing table (no
+// synchronization at all during the build), and the iterate phase merges the
+// per-worker tables.
 //
 // The classic trade-off reproduces directly: with few groups the merge is
 // negligible and local tables scale perfectly; with many groups the merge
@@ -19,50 +20,40 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <vector>
 
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "exec/executor.h"
 #include "hash/linear_probing_map.h"
 #include "util/macros.h"
 
 namespace memagg {
 
-/// Independent thread-local tables, merged at iterate time.
+/// Independent worker-local tables, merged at iterate time.
 template <typename Aggregate>
 class LocalPartitionAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
 
-  LocalPartitionAggregator(size_t expected_size, int num_threads)
-      : num_threads_(num_threads) {
-    MEMAGG_CHECK(num_threads >= 1);
-    locals_.reserve(static_cast<size_t>(num_threads));
-    for (int t = 0; t < num_threads; ++t) {
+  LocalPartitionAggregator(size_t expected_size, ExecutionContext exec)
+      : exec_(exec) {
+    const int num_workers = Executor(exec_).num_workers();
+    locals_.reserve(static_cast<size_t>(num_workers));
+    for (int t = 0; t < num_workers; ++t) {
       locals_.push_back(std::make_unique<LinearProbingMap<State>>(
-          expected_size / static_cast<size_t>(num_threads) + 1));
+          expected_size / static_cast<size_t>(num_workers) + 1));
     }
   }
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
-    if (num_threads_ == 1) {
-      BuildSlice(0, keys, values, 0, n);
-      return;
-    }
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(num_threads_));
-    const size_t chunk = (n + num_threads_ - 1) / num_threads_;
-    for (int t = 0; t < num_threads_; ++t) {
-      const size_t begin = std::min(n, t * chunk);
-      const size_t end = std::min(n, begin + chunk);
-      threads.emplace_back([this, t, keys, values, begin, end] {
-        BuildSlice(t, keys, values, begin, end);
-      });
-    }
-    for (auto& thread : threads) thread.join();
+    // Each worker owns locals_[worker]; a worker folds every morsel it
+    // claims into its own table, so no synchronization is needed.
+    Executor(exec_).ParallelFor(n, [&](const Morsel& m) {
+      BuildSlice(m.worker, keys, values, m.begin, m.end);
+    });
   }
 
   VectorResult Iterate() override {
@@ -111,7 +102,7 @@ class LocalPartitionAggregator final : public VectorAggregator {
     }
   }
 
-  int num_threads_;
+  ExecutionContext exec_;
   std::vector<std::unique_ptr<LinearProbingMap<State>>> locals_;
 };
 

@@ -19,17 +19,15 @@
 #ifndef MEMAGG_CORE_PARALLEL_AGGREGATOR_H_
 #define MEMAGG_CORE_PARALLEL_AGGREGATOR_H_
 
-#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "exec/executor.h"
 #include "hash/concurrent_chaining_map.h"
 #include "hash/cuckoo_map.h"
 #include "hash/linear_probing_map.h"
@@ -38,26 +36,6 @@
 #include "util/spinlock.h"
 
 namespace memagg {
-
-/// Splits [0, n) into `num_threads` chunks and runs fn(begin, end) on each
-/// in its own thread.
-template <typename Fn>
-void ParallelChunks(size_t n, int num_threads, Fn fn) {
-  MEMAGG_CHECK(num_threads >= 1);
-  if (num_threads == 1 || n < 2) {
-    fn(size_t{0}, n);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<size_t>(num_threads));
-  const size_t chunk = (n + num_threads - 1) / num_threads;
-  for (int t = 0; t < num_threads; ++t) {
-    const size_t begin = std::min(n, t * chunk);
-    const size_t end = std::min(n, begin + chunk);
-    threads.emplace_back([fn, begin, end] { fn(begin, end); });
-  }
-  for (auto& thread : threads) thread.join();
-}
 
 // --- Concurrent aggregate states for Hash_TBBSC ----------------------------
 
@@ -218,13 +196,13 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
  public:
   using State = typename ConcurrentAggregate::State;
 
-  TbbStyleParallelAggregator(size_t expected_size, int num_threads)
-      : map_(expected_size), num_threads_(num_threads) {}
+  TbbStyleParallelAggregator(size_t expected_size, ExecutionContext exec)
+      : map_(expected_size), exec_(exec) {}
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
-    ParallelChunks(n, num_threads_, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
+    Executor(exec_).ParallelFor(n, [&](const Morsel& m) {
+      for (size_t i = m.begin; i < m.end; ++i) {
         ConcurrentAggregate::Update(
             map_.GetOrInsert(keys[i]),
             ConcurrentAggregate::kNeedsValues ? values[i] : 0);
@@ -248,7 +226,7 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
 
  private:
   ConcurrentChainingMap<State> map_;
-  int num_threads_;
+  ExecutionContext exec_;
 };
 
 /// Hash_LC-style parallel aggregation: updates run inside CuckooMap::Upsert
@@ -259,13 +237,13 @@ class CuckooParallelAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
 
-  CuckooParallelAggregator(size_t expected_size, int num_threads)
-      : map_(expected_size), num_threads_(num_threads) {}
+  CuckooParallelAggregator(size_t expected_size, ExecutionContext exec)
+      : map_(expected_size), exec_(exec) {}
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
-    ParallelChunks(n, num_threads_, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
+    Executor(exec_).ParallelFor(n, [&](const Morsel& m) {
+      for (size_t i = m.begin; i < m.end; ++i) {
         const uint64_t value = Aggregate::kNeedsValues ? values[i] : 0;
         map_.Upsert(keys[i],
                     [value](State& state) { Aggregate::Update(state, value); });
@@ -288,7 +266,7 @@ class CuckooParallelAggregator final : public VectorAggregator {
 
  private:
   CuckooMap<State> map_;
-  int num_threads_;
+  ExecutionContext exec_;
 };
 
 /// Hash_Striped-style parallel aggregation: lock-striped serial
@@ -299,13 +277,13 @@ class StripedParallelAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
 
-  StripedParallelAggregator(size_t expected_size, int num_threads)
-      : map_(expected_size), num_threads_(num_threads) {}
+  StripedParallelAggregator(size_t expected_size, ExecutionContext exec)
+      : map_(expected_size), exec_(exec) {}
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
-    ParallelChunks(n, num_threads_, [&](size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
+    Executor(exec_).ParallelFor(n, [&](const Morsel& m) {
+      for (size_t i = m.begin; i < m.end; ++i) {
         const uint64_t value = Aggregate::kNeedsValues ? values[i] : 0;
         map_.Upsert(keys[i],
                     [value](State& state) { Aggregate::Update(state, value); });
@@ -328,7 +306,7 @@ class StripedParallelAggregator final : public VectorAggregator {
 
  private:
   StripedMap<LinearProbingMap<State>> map_;
-  int num_threads_;
+  ExecutionContext exec_;
 };
 
 }  // namespace memagg

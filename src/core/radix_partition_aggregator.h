@@ -8,23 +8,25 @@
 // partitioning pass (histogram + scatter) over the input.
 //
 // Partitions are assigned by hash bits, so identical keys always land in the
-// same partition and skew spreads uniformly.
+// same partition and skew spreads uniformly. Both input passes run on the
+// morsel executor with per-*morsel* histograms/offsets: the morsel grid is
+// deterministic (exec/morsel.h), so the scatter offsets line up no matter
+// which worker claims which morsel.
 
 #ifndef MEMAGG_CORE_RADIX_PARTITION_AGGREGATOR_H_
 #define MEMAGG_CORE_RADIX_PARTITION_AGGREGATOR_H_
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "exec/executor.h"
 #include "hash/hash_fn.h"
 #include "hash/linear_probing_map.h"
 #include "util/bits.h"
@@ -38,11 +40,10 @@ class RadixPartitionAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
 
-  RadixPartitionAggregator(size_t expected_size, int num_threads)
-      : num_threads_(num_threads),
-        num_partitions_(NextPowerOfTwo(
-            static_cast<uint64_t>(std::max(1, num_threads)))) {
-    MEMAGG_CHECK(num_threads >= 1);
+  RadixPartitionAggregator(size_t expected_size, ExecutionContext exec)
+      : exec_(exec),
+        num_partitions_(NextPowerOfTwo(static_cast<uint64_t>(
+            std::max(1, exec.num_threads)))) {
     partitions_.reserve(num_partitions_);
     for (size_t p = 0; p < num_partitions_; ++p) {
       partitions_.push_back(std::make_unique<LinearProbingMap<State>>(
@@ -52,28 +53,35 @@ class RadixPartitionAggregator final : public VectorAggregator {
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
-    // Phase 1: per-chunk partition histograms (parallel).
-    const size_t chunks = static_cast<size_t>(num_threads_);
-    const size_t chunk_size = (n + chunks - 1) / chunks;
-    std::vector<std::vector<size_t>> counts(
-        chunks, std::vector<size_t>(num_partitions_, 0));
-    RunChunks(n, chunk_size, [&](size_t c, size_t begin, size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        ++counts[c][PartitionOf(keys[i])];
-      }
-    });
+    Executor executor(exec_);
+    // Fix the morsel grain once so phases 1 and 2 see the same grid.
+    const size_t grain = executor.MorselRows(n);
+    const size_t num_morsels = NumMorselsFor(n, grain);
 
-    // Prefix sums -> per-(chunk, partition) scatter offsets.
+    // Phase 1: per-morsel partition histograms (parallel).
+    std::vector<std::vector<size_t>> counts(
+        num_morsels, std::vector<size_t>(num_partitions_, 0));
+    executor.ParallelFor(
+        n,
+        [&](const Morsel& m) {
+          auto& morsel_counts = counts[m.index];
+          for (size_t i = m.begin; i < m.end; ++i) {
+            ++morsel_counts[PartitionOf(keys[i])];
+          }
+        },
+        grain);
+
+    // Prefix sums -> per-(morsel, partition) scatter offsets.
     std::vector<size_t> partition_starts(num_partitions_ + 1, 0);
     std::vector<std::vector<size_t>> offsets(
-        chunks, std::vector<size_t>(num_partitions_, 0));
+        num_morsels, std::vector<size_t>(num_partitions_, 0));
     {
       size_t running = 0;
       for (size_t p = 0; p < num_partitions_; ++p) {
         partition_starts[p] = running;
-        for (size_t c = 0; c < chunks; ++c) {
-          offsets[c][p] = running;
-          running += counts[c][p];
+        for (size_t m = 0; m < num_morsels; ++m) {
+          offsets[m][p] = running;
+          running += counts[m][p];
         }
       }
       partition_starts[num_partitions_] = running;
@@ -81,24 +89,35 @@ class RadixPartitionAggregator final : public VectorAggregator {
 
     // Phase 2: scatter records into partition-contiguous buffers (parallel).
     std::vector<std::pair<uint64_t, uint64_t>> scattered(n);
-    RunChunks(n, chunk_size, [&](size_t c, size_t begin, size_t end) {
-      auto chunk_offsets = offsets[c];
-      for (size_t i = begin; i < end; ++i) {
-        const uint64_t value =
-            Aggregate::kNeedsValues && values != nullptr ? values[i] : 0;
-        scattered[chunk_offsets[PartitionOf(keys[i])]++] = {keys[i], value};
-      }
-    });
+    executor.ParallelFor(
+        n,
+        [&](const Morsel& m) {
+          auto morsel_offsets = offsets[m.index];
+          for (size_t i = m.begin; i < m.end; ++i) {
+            const uint64_t value =
+                Aggregate::kNeedsValues && values != nullptr ? values[i] : 0;
+            scattered[morsel_offsets[PartitionOf(keys[i])]++] = {keys[i],
+                                                                 value};
+          }
+        },
+        grain);
 
     // Phase 3: aggregate each partition privately — disjoint key sets, so
-    // no locks and no merge.
-    RunPartitions([&](size_t p) {
-      LinearProbingMap<State>& map = *partitions_[p];
-      for (size_t i = partition_starts[p]; i < partition_starts[p + 1]; ++i) {
-        Aggregate::Update(map.GetOrInsert(scattered[i].first),
-                          scattered[i].second);
-      }
-    });
+    // no locks and no merge. Partitions are claimed one at a time (grain 1)
+    // so skewed partition sizes balance across workers.
+    executor.ParallelFor(
+        num_partitions_,
+        [&](const Morsel& m) {
+          for (size_t p = m.begin; p < m.end; ++p) {
+            LinearProbingMap<State>& map = *partitions_[p];
+            for (size_t i = partition_starts[p]; i < partition_starts[p + 1];
+                 ++i) {
+              Aggregate::Update(map.GetOrInsert(scattered[i].first),
+                                scattered[i].second);
+            }
+          }
+        },
+        /*grain=*/1);
   }
 
   VectorResult Iterate() override {
@@ -130,42 +149,7 @@ class RadixPartitionAggregator final : public VectorAggregator {
     return (HashKey(key) >> 40) & (num_partitions_ - 1);
   }
 
-  template <typename Fn>
-  void RunChunks(size_t n, size_t chunk_size, Fn fn) {
-    if (num_threads_ == 1) {
-      fn(size_t{0}, size_t{0}, n);
-      return;
-    }
-    std::vector<std::thread> threads;
-    for (size_t c = 0; c < static_cast<size_t>(num_threads_); ++c) {
-      const size_t begin = std::min(n, c * chunk_size);
-      const size_t end = std::min(n, begin + chunk_size);
-      threads.emplace_back([fn, c, begin, end] { fn(c, begin, end); });
-    }
-    for (auto& thread : threads) thread.join();
-  }
-
-  template <typename Fn>
-  void RunPartitions(Fn fn) {
-    if (num_threads_ == 1) {
-      for (size_t p = 0; p < num_partitions_; ++p) fn(p);
-      return;
-    }
-    std::vector<std::thread> threads;
-    std::atomic<size_t> next{0};
-    for (int t = 0; t < num_threads_; ++t) {
-      threads.emplace_back([this, &fn, &next] {
-        while (true) {
-          const size_t p = next.fetch_add(1);
-          if (p >= num_partitions_) return;
-          fn(p);
-        }
-      });
-    }
-    for (auto& thread : threads) thread.join();
-  }
-
-  int num_threads_;
+  ExecutionContext exec_;
   size_t num_partitions_;
   std::vector<std::unique_ptr<LinearProbingMap<State>>> partitions_;
 };

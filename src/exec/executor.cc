@@ -1,0 +1,11 @@
+#include "exec/executor.h"
+
+namespace memagg {
+
+ExecutionContext HardwareExecution() {
+  return ExecutionContext(Parallelism());
+}
+
+void WarmUpScheduler() { TaskScheduler::Global().pool(); }
+
+}  // namespace memagg

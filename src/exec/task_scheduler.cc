@@ -1,0 +1,121 @@
+#include "exec/task_scheduler.h"
+
+#include <utility>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+TaskScheduler& TaskScheduler::Global() {
+  static TaskScheduler* scheduler = new TaskScheduler();
+  return *scheduler;
+}
+
+ThreadPool& TaskScheduler::pool() {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  if (!pool_) {
+    pool_ = std::make_unique<ThreadPool>(Parallelism());
+    threads_created_.fetch_add(static_cast<uint64_t>(pool_->num_threads()),
+                               std::memory_order_relaxed);
+  }
+  return *pool_;
+}
+
+bool TaskScheduler::pool_started() const {
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  return pool_ != nullptr;
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  Stats stats;
+  stats.threads_created = threads_created_.load(std::memory_order_relaxed);
+  stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  stats.groups_opened = groups_opened_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+struct TaskGroup::State {
+  std::mutex mutex;
+  std::condition_variable changed;
+  std::deque<std::function<void()>> queue;
+  int in_flight = 0;  // Tasks currently executing (drivers + helper).
+  int drivers = 0;    // Pool driver tickets requested and not yet retired.
+  int max_helpers = 0;
+  std::atomic<uint64_t>* tasks_run = nullptr;  // Scheduler counter.
+
+  // Pops and runs queued tasks until the queue is empty. Entered and exited
+  // with `lock` held. Returns with the queue empty *at that instant*; other
+  // tasks may still be in flight and may refill the queue.
+  void DrainLocked(std::unique_lock<std::mutex>& lock) {
+    while (!queue.empty()) {
+      std::function<void()> task = std::move(queue.front());
+      queue.pop_front();
+      ++in_flight;
+      lock.unlock();
+      task();
+      tasks_run->fetch_add(1, std::memory_order_relaxed);
+      lock.lock();
+      --in_flight;
+      if (in_flight == 0 && queue.empty()) {
+        // Completion edge: wake the Wait()er (and any idle drivers so they
+        // can retire).
+        changed.notify_all();
+      }
+    }
+  }
+};
+
+namespace {
+
+/// Body of a pool driver ticket: drain the group's queue, then retire.
+void DriveGroup(const std::shared_ptr<TaskGroup::State>& state) {
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->DrainLocked(lock);
+  --state->drivers;
+}
+
+}  // namespace
+
+TaskGroup::TaskGroup(int max_helpers) : state_(std::make_shared<State>()) {
+  MEMAGG_CHECK(max_helpers >= 0);
+  TaskScheduler& scheduler = TaskScheduler::Global();
+  state_->max_helpers = max_helpers;
+  state_->tasks_run = &scheduler.tasks_run_;
+  scheduler.groups_opened_.fetch_add(1, std::memory_order_relaxed);
+}
+
+TaskGroup::~TaskGroup() { Wait(); }
+
+void TaskGroup::Submit(std::function<void()> task) {
+  bool need_driver = false;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->queue.push_back(std::move(task));
+    if (state_->drivers < state_->max_helpers) {
+      ++state_->drivers;
+      need_driver = true;
+    }
+  }
+  // Wake a blocked Wait()er so it can help with the new task.
+  state_->changed.notify_one();
+  if (need_driver) {
+    // The ticket holds only a reference to the shared state: if it fires
+    // after this group drained (or died), it finds an empty queue and
+    // retires immediately.
+    std::shared_ptr<State> state = state_;
+    TaskScheduler::Global().pool().Submit([state] { DriveGroup(state); });
+  }
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  while (true) {
+    state_->DrainLocked(lock);
+    if (state_->in_flight == 0 && state_->queue.empty()) return;
+    state_->changed.wait(lock, [this] {
+      return !state_->queue.empty() || state_->in_flight == 0;
+    });
+  }
+}
+
+}  // namespace memagg

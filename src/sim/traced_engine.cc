@@ -117,8 +117,9 @@ std::unique_ptr<VectorAggregator> MakeTracedForAggregate(
 }  // namespace
 
 std::unique_ptr<VectorAggregator> MakeTracedVectorAggregator(
-    const std::string& label, AggregateFunction function,
-    size_t expected_size) {
+    const std::string& label, AggregateFunction function, size_t expected_size,
+    const ExecutionContext& exec) {
+  MEMAGG_CHECK(exec.num_threads == 1);
   switch (function) {
     case AggregateFunction::kCount:
       return MakeTracedForAggregate<CountAggregate>(label, expected_size);

@@ -18,14 +18,18 @@
 
 #include "core/aggregate.h"
 #include "core/operator.h"
+#include "exec/executor.h"
 
 namespace memagg {
 
 /// Creates a traced vector aggregator for a Table 3 serial label. Supports
-/// the Figure 6 functions (kCount for Q1, kMedian for Q3).
+/// the Figure 6 functions (kCount for Q1, kMedian for Q3). The cache model
+/// observes a single access stream, so `exec` must be serial
+/// (num_threads == 1); the parameter exists so callers can thread one
+/// ExecutionContext through both engines.
 std::unique_ptr<VectorAggregator> MakeTracedVectorAggregator(
-    const std::string& label, AggregateFunction function,
-    size_t expected_size);
+    const std::string& label, AggregateFunction function, size_t expected_size,
+    const ExecutionContext& exec = {});
 
 }  // namespace memagg
 

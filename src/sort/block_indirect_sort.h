@@ -12,10 +12,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/executor.h"
 #include "sort/introsort.h"
 #include "sort/sort_common.h"
 #include "util/bits.h"
-#include "util/thread_pool.h"
 
 namespace memagg {
 
@@ -40,11 +40,15 @@ void BlockIndirectSort(T* first, T* last, Less less, int num_threads) {
         (static_cast<unsigned __int128>(n) * p) / num_parts);
   }
 
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(static_cast<int64_t>(num_parts), [&](int64_t p) {
-    IntroSort(first + bounds[static_cast<size_t>(p)],
-              first + bounds[static_cast<size_t>(p) + 1], less);
-  });
+  Executor executor{ExecutionContext{num_threads}};
+  executor.ParallelFor(
+      num_parts,
+      [&](const Morsel& morsel) {
+        for (size_t p = morsel.begin; p < morsel.end; ++p) {
+          IntroSort(first + bounds[p], first + bounds[p + 1], less);
+        }
+      },
+      /*grain=*/1);
 
   // log2(num_parts) rounds of pairwise parallel merges, ping-ponging between
   // the input array and a buffer.
@@ -53,13 +57,19 @@ void BlockIndirectSort(T* first, T* last, Less less, int num_threads) {
   T* dst = buffer.data();
   for (size_t width = 1; width < num_parts; width *= 2) {
     const size_t num_merges = num_parts / (2 * width);
-    pool.ParallelFor(static_cast<int64_t>(num_merges), [&](int64_t m) {
-      const size_t lo_part = static_cast<size_t>(m) * 2 * width;
-      const ptrdiff_t lo = bounds[lo_part];
-      const ptrdiff_t mid = bounds[lo_part + width];
-      const ptrdiff_t hi = bounds[lo_part + 2 * width];
-      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, less);
-    });
+    executor.ParallelFor(
+        num_merges,
+        [&](const Morsel& morsel) {
+          for (size_t m = morsel.begin; m < morsel.end; ++m) {
+            const size_t lo_part = m * 2 * width;
+            const ptrdiff_t lo = bounds[lo_part];
+            const ptrdiff_t mid = bounds[lo_part + width];
+            const ptrdiff_t hi = bounds[lo_part + 2 * width];
+            std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo,
+                       less);
+          }
+        },
+        /*grain=*/1);
     std::swap(src, dst);
   }
   if (src != first) {

@@ -1,18 +1,17 @@
 // Sort_QSLB (paper Section 5.8): parallel quicksort with dynamic load
-// balancing, modelled on GCC's parallel-mode balanced quicksort. Workers
-// share a stack of unsorted ranges: each worker pops a range, partitions it,
-// pushes one half back for any idle worker to steal, and keeps refining the
-// other half. Small ranges are finished locally with Introsort.
+// balancing, modelled on GCC's parallel-mode balanced quicksort. Unsorted
+// ranges are published as tasks on the process-wide scheduler
+// (exec/task_scheduler.h): each worker takes a range, partitions it,
+// publishes the larger half for any idle worker to pick up, and keeps
+// refining the smaller half. Small ranges are finished locally with
+// Introsort.
 
 #ifndef MEMAGG_SORT_PARALLEL_QUICKSORT_H_
 #define MEMAGG_SORT_PARALLEL_QUICKSORT_H_
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
-#include <thread>
-#include <vector>
 
+#include "exec/task_scheduler.h"
 #include "sort/introsort.h"
 #include "sort/quicksort.h"
 #include "sort/sort_common.h"
@@ -22,86 +21,28 @@ namespace memagg {
 namespace sort_internal {
 
 template <typename T, typename Less>
-class QuicksortLoadBalancer {
- public:
-  QuicksortLoadBalancer(Less less) : less_(less) {}
-
-  void Run(T* first, T* last, int num_threads) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ranges_.push_back({first, last});
+void BalancedQuickSortRange(TaskGroup& group, T* first, T* last, Less less) {
+  while (last - first > kParallelSequentialThreshold) {
+    T pivot = MedianOfThree(first, first + (last - first) / 2, last - 1, less);
+    T* split = HoarePartition(first, last, pivot, less);
+    // Publish the larger half for idle workers; keep refining the smaller.
+    T* publish_first;
+    T* publish_last;
+    if (split - first < last - split) {
+      publish_first = split;
+      publish_last = last;
+      last = split;
+    } else {
+      publish_first = first;
+      publish_last = split;
+      first = split;
     }
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<size_t>(num_threads));
-    for (int i = 0; i < num_threads; ++i) {
-      threads.emplace_back([this] { WorkerLoop(); });
-    }
-    for (auto& t : threads) t.join();
+    group.Submit([&group, publish_first, publish_last, less] {
+      BalancedQuickSortRange(group, publish_first, publish_last, less);
+    });
   }
-
- private:
-  struct Range {
-    T* first;
-    T* last;
-  };
-
-  void WorkerLoop() {
-    while (true) {
-      Range range;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_changed_.wait(lock, [this] {
-          return !ranges_.empty() || busy_workers_ == 0;
-        });
-        if (ranges_.empty()) {
-          // No queued work and nobody can produce more: sorting is complete.
-          work_changed_.notify_all();
-          return;
-        }
-        range = ranges_.back();
-        ranges_.pop_back();
-        ++busy_workers_;
-      }
-      ProcessRange(range);
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        --busy_workers_;
-      }
-      work_changed_.notify_all();
-    }
-  }
-
-  void ProcessRange(Range range) {
-    T* first = range.first;
-    T* last = range.last;
-    while (last - first > kParallelSequentialThreshold) {
-      T pivot =
-          MedianOfThree(first, first + (last - first) / 2, last - 1, less_);
-      T* split = HoarePartition(first, last, pivot, less_);
-      // Publish the larger half for idle workers; keep refining the smaller.
-      Range publish;
-      if (split - first < last - split) {
-        publish = {split, last};
-        last = split;
-      } else {
-        publish = {first, split};
-        first = split;
-      }
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        ranges_.push_back(publish);
-      }
-      work_changed_.notify_one();
-    }
-    IntroSort(first, last, less_);
-  }
-
-  Less less_;
-  std::mutex mutex_;
-  std::condition_variable work_changed_;
-  std::vector<Range> ranges_;
-  int busy_workers_ = 0;
-};
+  IntroSort(first, last, less);
+}
 
 }  // namespace sort_internal
 
@@ -114,8 +55,11 @@ void ParallelQuickSort(T* first, T* last, Less less, int num_threads) {
     IntroSort(first, last, less);
     return;
   }
-  sort_internal::QuicksortLoadBalancer<T, Less> balancer(less);
-  balancer.Run(first, last, num_threads);
+  TaskGroup group(num_threads - 1);
+  group.Submit([&group, first, last, less] {
+    sort_internal::BalancedQuickSortRange(group, first, last, less);
+  });
+  group.Wait();
 }
 
 inline void ParallelQuickSort(uint64_t* first, uint64_t* last,

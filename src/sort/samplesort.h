@@ -9,10 +9,10 @@
 #include <cstddef>
 #include <vector>
 
+#include "exec/executor.h"
 #include "sort/introsort.h"
 #include "sort/sort_common.h"
 #include "util/rng.h"
-#include "util/thread_pool.h"
 
 namespace memagg {
 
@@ -57,55 +57,65 @@ void SampleSort(T* first, T* last, Less less, int num_threads) {
         splitters.begin());
   };
 
-  // Phase 1: per-chunk bucket histograms in parallel.
-  const int64_t chunks = num_threads;
-  const ptrdiff_t chunk_size = (n + chunks - 1) / chunks;
-  std::vector<std::vector<size_t>> chunk_counts(
-      static_cast<size_t>(chunks), std::vector<size_t>(num_buckets, 0));
-  ThreadPool pool(num_threads);
-  pool.ParallelFor(chunks, [&](int64_t c) {
-    T* chunk_first = first + c * chunk_size;
-    T* chunk_last = std::min(chunk_first + chunk_size, last);
-    auto& counts = chunk_counts[static_cast<size_t>(c)];
-    for (T* p = chunk_first; p < chunk_last; ++p) ++counts[bucket_of(*p)];
-  });
+  // Phase 1: per-morsel bucket histograms in parallel. The morsel grid is
+  // deterministic, so the same grid indexes the scatter offsets in phase 2
+  // regardless of which worker claims which morsel.
+  Executor executor{ExecutionContext{num_threads}};
+  const size_t rows = static_cast<size_t>(n);
+  const size_t grain = executor.MorselRows(rows);
+  const size_t num_morsels = NumMorselsFor(rows, grain);
+  std::vector<std::vector<size_t>> morsel_counts(
+      num_morsels, std::vector<size_t>(num_buckets, 0));
+  executor.ParallelFor(
+      rows,
+      [&](const Morsel& m) {
+        auto& counts = morsel_counts[m.index];
+        for (size_t i = m.begin; i < m.end; ++i) ++counts[bucket_of(first[i])];
+      },
+      grain);
 
-  // Exclusive prefix sums give each (chunk, bucket) its scatter offset.
-  std::vector<std::vector<size_t>> chunk_offsets(
-      static_cast<size_t>(chunks), std::vector<size_t>(num_buckets, 0));
+  // Exclusive prefix sums give each (morsel, bucket) its scatter offset.
+  std::vector<std::vector<size_t>> morsel_offsets(
+      num_morsels, std::vector<size_t>(num_buckets, 0));
   std::vector<size_t> bucket_starts(num_buckets + 1, 0);
   {
     size_t running = 0;
     for (size_t b = 0; b < num_buckets; ++b) {
       bucket_starts[b] = running;
-      for (int64_t c = 0; c < chunks; ++c) {
-        chunk_offsets[static_cast<size_t>(c)][b] = running;
-        running += chunk_counts[static_cast<size_t>(c)][b];
+      for (size_t m = 0; m < num_morsels; ++m) {
+        morsel_offsets[m][b] = running;
+        running += morsel_counts[m][b];
       }
     }
     bucket_starts[num_buckets] = running;
   }
 
   // Phase 2: parallel scatter into a temporary buffer.
-  std::vector<T> scattered(static_cast<size_t>(n));
-  pool.ParallelFor(chunks, [&](int64_t c) {
-    T* chunk_first = first + c * chunk_size;
-    T* chunk_last = std::min(chunk_first + chunk_size, last);
-    auto offsets = chunk_offsets[static_cast<size_t>(c)];
-    for (T* p = chunk_first; p < chunk_last; ++p) {
-      scattered[offsets[bucket_of(*p)]++] = *p;
-    }
-  });
+  std::vector<T> scattered(rows);
+  executor.ParallelFor(
+      rows,
+      [&](const Morsel& m) {
+        auto offsets = morsel_offsets[m.index];
+        for (size_t i = m.begin; i < m.end; ++i) {
+          scattered[offsets[bucket_of(first[i])]++] = first[i];
+        }
+      },
+      grain);
 
   // Phase 3: sort each bucket in parallel and copy back (buckets are already
-  // in their final global positions).
-  pool.ParallelFor(static_cast<int64_t>(num_buckets), [&](int64_t b) {
-    T* bucket_first = scattered.data() + bucket_starts[static_cast<size_t>(b)];
-    T* bucket_last = scattered.data() + bucket_starts[static_cast<size_t>(b) + 1];
-    IntroSort(bucket_first, bucket_last, less);
-    std::copy(bucket_first, bucket_last,
-              first + bucket_starts[static_cast<size_t>(b)]);
-  });
+  // in their final global positions). Grain 1: buckets are claimed one at a
+  // time so skewed bucket sizes load-balance.
+  executor.ParallelFor(
+      num_buckets,
+      [&](const Morsel& m) {
+        for (size_t b = m.begin; b < m.end; ++b) {
+          T* bucket_first = scattered.data() + bucket_starts[b];
+          T* bucket_last = scattered.data() + bucket_starts[b + 1];
+          IntroSort(bucket_first, bucket_last, less);
+          std::copy(bucket_first, bucket_last, first + bucket_starts[b]);
+        }
+      },
+      /*grain=*/1);
 }
 
 inline void SampleSort(uint64_t* first, uint64_t* last, int num_threads) {

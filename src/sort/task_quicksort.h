@@ -1,24 +1,24 @@
 // Sort_TBB (paper Section 5.8): task-pool quicksort modelled on
 // tbb::parallel_sort — a quicksort whose recursive halves are spawned as
-// tasks into a worker pool, creating parallelism on demand up to the
-// configured thread count.
+// tasks into the process-wide scheduler (exec/task_scheduler.h), creating
+// parallelism on demand up to the configured thread count.
 
 #ifndef MEMAGG_SORT_TASK_QUICKSORT_H_
 #define MEMAGG_SORT_TASK_QUICKSORT_H_
 
 #include <cstddef>
 
+#include "exec/task_scheduler.h"
 #include "sort/introsort.h"
 #include "sort/quicksort.h"
 #include "sort/sort_common.h"
-#include "util/thread_pool.h"
 
 namespace memagg {
 
 namespace sort_internal {
 
 template <typename T, typename Less>
-void TaskQuickSortBody(ThreadPool& pool, T* first, T* last, Less less) {
+void TaskQuickSortBody(TaskGroup& group, T* first, T* last, Less less) {
   while (last - first > kParallelSequentialThreshold) {
     T pivot = MedianOfThree(first, first + (last - first) / 2, last - 1, less);
     T* split = HoarePartition(first, last, pivot, less);
@@ -34,8 +34,8 @@ void TaskQuickSortBody(ThreadPool& pool, T* first, T* last, Less less) {
       task_last = last;
       last = split;
     }
-    pool.Submit([&pool, task_first, task_last, less] {
-      TaskQuickSortBody(pool, task_first, task_last, less);
+    group.Submit([&group, task_first, task_last, less] {
+      TaskQuickSortBody(group, task_first, task_last, less);
     });
   }
   IntroSort(first, last, less);
@@ -52,11 +52,13 @@ void TaskQuickSort(T* first, T* last, Less less, int num_threads) {
     IntroSort(first, last, less);
     return;
   }
-  ThreadPool pool(num_threads);
-  pool.Submit([&pool, first, last, less] {
-    sort_internal::TaskQuickSortBody(pool, first, last, less);
+  // The Wait()ing caller participates, so num_threads - 1 pool helpers give
+  // num_threads total workers.
+  TaskGroup group(num_threads - 1);
+  group.Submit([&group, first, last, less] {
+    sort_internal::TaskQuickSortBody(group, first, last, less);
   });
-  pool.Wait();
+  group.Wait();
 }
 
 inline void TaskQuickSort(uint64_t* first, uint64_t* last, int num_threads) {

@@ -17,9 +17,19 @@
 
 namespace memagg {
 
+/// Hardware thread count, clamped to >= 1 (hardware_concurrency() may
+/// return 0 when unknown). The default pool size everywhere.
+inline int Parallelism() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
 /// Fixed-size worker pool with a shared FIFO queue.
 class ThreadPool {
  public:
+  /// Defaults to one worker per hardware thread.
+  ThreadPool() : ThreadPool(Parallelism()) {}
+
   explicit ThreadPool(int num_threads) {
     MEMAGG_CHECK(num_threads >= 1);
     workers_.reserve(static_cast<size_t>(num_threads));
@@ -80,10 +90,14 @@ class ThreadPool {
         queue_.pop_front();
       }
       task();
+      bool drained;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        if (--pending_ == 0) all_done_.notify_all();
+        drained = (--pending_ == 0);
       }
+      // Notify after releasing the lock: waiters woken while the lock is
+      // still held immediately block on it again (hurry-up-and-wait).
+      if (drained) all_done_.notify_all();
     }
   }
 

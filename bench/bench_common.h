@@ -8,12 +8,15 @@
 #ifndef MEMAGG_BENCH_BENCH_COMMON_H_
 #define MEMAGG_BENCH_BENCH_COMMON_H_
 
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/query_stats.h"
 #include "util/cli.h"
 #include "util/cycle_timer.h"
 
@@ -43,7 +46,13 @@ inline std::vector<uint64_t> CardinalitySweep(const CliFlags& flags,
            "cardinalities",
            {"100", "1000", "10000", "100000", "1000000", "10000000"})) {
     const uint64_t c = static_cast<uint64_t>(ParseHumanInt(text));
-    if (c <= records) cardinalities.push_back(c);
+    if (c <= records) {
+      cardinalities.push_back(c);
+    } else {
+      std::printf("# dropped cardinality %" PRIu64
+                  " (exceeds --records=%" PRIu64 ")\n",
+                  c, records);
+    }
   }
   return cardinalities;
 }
@@ -53,6 +62,105 @@ inline void PrintBanner(const std::string& experiment,
                         const std::string& description) {
   std::printf("# %s\n# %s\n", experiment.c_str(), description.c_str());
 }
+
+/// Machine-readable run report written next to the CSV output.
+///
+/// Each bench binary keeps printing its CSV rows to stdout (the human /
+/// re-plotting interface) and additionally records every data point here;
+/// `WriteFile()` emits `BENCH_<bench>.json` for `tools/bench_compare.py`.
+/// Schema (documented in EXPERIMENTS.md):
+///
+///   {"bench": "<name>",
+///    "params": {"records": "1000000", ...},
+///    "rows": [{"series": "Hash_LP", "x": 1000,
+///              "cycles": 12345, "millis": 1.25,
+///              "stats": {"phases": {...}, "counters": {...}}}, ...]}
+///
+/// `series` is the line label (algorithm/engine), `x` the sweep coordinate
+/// (cardinality, threads, ...), `stats` the optional QueryStats snapshot.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  void SetParam(const std::string& key, const std::string& value) {
+    params_.push_back({key, value});
+  }
+
+  void SetParam(const std::string& key, uint64_t value) {
+    SetParam(key, std::to_string(value));
+  }
+
+  void AddRow(const std::string& series, uint64_t x, uint64_t cycles,
+              double millis, const QueryStats* stats = nullptr) {
+    Row row;
+    row.series = series;
+    row.x = x;
+    row.cycles = cycles;
+    row.millis = millis;
+    if (stats != nullptr) row.stats_json = stats->ToJson();
+    rows_.push_back(std::move(row));
+  }
+
+  /// Writes `BENCH_<bench>.json` in the working directory (or `path` if
+  /// given). Returns false if the file could not be opened.
+  bool WriteFile(const std::string& path = "") const {
+    const std::string file_name =
+        path.empty() ? "BENCH_" + bench_ + ".json" : path;
+    FILE* file = std::fopen(file_name.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "# failed to open %s for writing\n",
+                   file_name.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\"bench\": \"%s\",\n \"params\": {",
+                 JsonEscaped(bench_).c_str());
+    for (size_t i = 0; i < params_.size(); ++i) {
+      std::fprintf(file, "%s\"%s\": \"%s\"", i == 0 ? "" : ", ",
+                   JsonEscaped(params_[i].first).c_str(),
+                   JsonEscaped(params_[i].second).c_str());
+    }
+    std::fprintf(file, "},\n \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(file,
+                   "%s\n  {\"series\": \"%s\", \"x\": %" PRIu64
+                   ", \"cycles\": %" PRIu64 ", \"millis\": %.6f",
+                   i == 0 ? "" : ",", JsonEscaped(row.series).c_str(), row.x,
+                   row.cycles, row.millis);
+      if (!row.stats_json.empty()) {
+        std::fprintf(file, ", \"stats\": %s", row.stats_json.c_str());
+      }
+      std::fprintf(file, "}");
+    }
+    std::fprintf(file, "\n ]}\n");
+    std::fclose(file);
+    std::printf("# wrote %s (%zu rows)\n", file_name.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    uint64_t x = 0;
+    uint64_t cycles = 0;
+    double millis = 0.0;
+    std::string stats_json;  // Pre-rendered JSON object, or empty.
+  };
+
+  static std::string JsonEscaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace memagg
 

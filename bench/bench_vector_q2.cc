@@ -31,6 +31,9 @@ int Run(int argc, char** argv) {
               "completeness companion to Figure 4; not plotted in the paper");
   std::printf("dataset,cardinality,algorithm,total_cycles,build_ms,iterate_ms\n");
 
+  BenchReport report("vector_q2");
+  report.SetParam("records", records);
+
   for (const std::string& dataset_name : dataset_names) {
     const Distribution distribution = DistributionFromName(dataset_name);
     for (uint64_t cardinality : cardinalities) {
@@ -38,24 +41,23 @@ int Run(int argc, char** argv) {
       if (!IsValidSpec(spec)) continue;
       const auto keys = GenerateKeys(spec);
       for (const std::string& label : labels) {
-        auto aggregator =
-            MakeVectorAggregator(label, AggregateFunction::kAverage, records);
-        const BenchTiming build = TimeOnce([&] {
-          aggregator->Build(keys.data(), values.data(), keys.size());
-        });
-        VectorResult result;
-        const BenchTiming iterate =
-            TimeOnce([&] { result = aggregator->Iterate(); });
+        const VectorQueryExecution execution = ExecuteVectorQuery(
+            label, AggregateFunction::kAverage, keys.data(), values.data(),
+            keys.size(), records);
+        const QueryStats& stats = execution.stats;
         std::printf("%s,%llu,%s,%llu,%.1f,%.1f\n", dataset_name.c_str(),
                     static_cast<unsigned long long>(cardinality),
                     label.c_str(),
-                    static_cast<unsigned long long>(build.cycles +
-                                                    iterate.cycles),
-                    build.millis, iterate.millis);
+                    static_cast<unsigned long long>(stats.TotalCycles()),
+                    stats.PhaseMillis(StatPhase::kBuild),
+                    stats.PhaseMillis(StatPhase::kIterate));
+        report.AddRow(dataset_name + "/" + label, cardinality,
+                      stats.TotalCycles(), stats.TotalMillis(), &stats);
         std::fflush(stdout);
       }
     }
   }
+  report.WriteFile();
   return 0;
 }
 

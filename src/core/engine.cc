@@ -223,6 +223,46 @@ std::unique_ptr<VectorAggregator> MakeVectorAggregator(
   return nullptr;
 }
 
+VectorQueryExecution ExecuteVectorQuery(const std::string& label,
+                                        AggregateFunction function,
+                                        const uint64_t* keys,
+                                        const uint64_t* values, size_t n,
+                                        size_t expected_size,
+                                        ExecutionContext exec) {
+  StatsRegistry local_registry(exec.num_threads);
+  if (exec.stats == nullptr) exec.stats = &local_registry;
+  auto aggregator = MakeVectorAggregator(label, function, expected_size, exec);
+
+  VectorQueryExecution execution;
+  // The end-to-end build/iterate clocks are the bench contract, not
+  // operator instrumentation: they are two timer reads per whole phase and
+  // stay live even under MEMAGG_DISABLE_STATS (which is why CycleTimer is
+  // used directly instead of the gated PhaseTimer).
+  {
+    CycleTimer timer;
+    timer.Start();
+    aggregator->Build(keys, values, n);
+    timer.Stop();
+    execution.stats.AddPhase(StatPhase::kBuild, timer.ElapsedCycles(),
+                             timer.ElapsedMillis());
+  }
+  {
+    CycleTimer timer;
+    timer.Start();
+    execution.result = aggregator->Iterate();
+    timer.Stop();
+    execution.stats.AddPhase(StatPhase::kIterate, timer.ElapsedCycles(),
+                             timer.ElapsedMillis());
+  }
+  if (StatsConfig::kEnabled) {
+    execution.stats.Add(StatCounter::kRowsBuilt, n);
+    execution.stats.Add(StatCounter::kGroupsOut, execution.result.size());
+    aggregator->CollectStats(&execution.stats);
+    execution.stats.Merge(exec.stats->Collect());
+  }
+  return execution;
+}
+
 std::unique_ptr<ScalarAggregator> MakeScalarMedianAggregator(
     const std::string& label, const ExecutionContext& exec) {
   const int num_threads = exec.num_threads;

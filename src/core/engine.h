@@ -20,6 +20,7 @@
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "exec/executor.h"
+#include "obs/query_stats.h"
 
 namespace memagg {
 
@@ -57,6 +58,28 @@ std::unique_ptr<VectorAggregator> MakeVectorAggregator(
 /// Creates a scalar-median (Q6) operator for a tree or sort label.
 std::unique_ptr<ScalarAggregator> MakeScalarMedianAggregator(
     const std::string& label, const ExecutionContext& exec = {});
+
+/// A query result paired with the execution statistics of the run that
+/// produced it (phase timings, operator counters, morsel accounting — see
+/// obs/query_stats.h).
+struct VectorQueryExecution {
+  VectorResult result;
+  QueryStats stats;
+};
+
+/// Runs one vector aggregation end to end through the engine registry and
+/// returns the result rows next to a QueryStats snapshot: build/iterate
+/// phase timings measured here, the operator's own phase splits and
+/// structure counters (CollectStats), and — for parallel labels — the
+/// morsel/worker accounting recorded by the executor. If `exec.stats` is
+/// null a private StatsRegistry sized to `exec.num_threads` is used.
+/// `values` may be nullptr for value-less aggregates (COUNT).
+VectorQueryExecution ExecuteVectorQuery(const std::string& label,
+                                        AggregateFunction function,
+                                        const uint64_t* keys,
+                                        const uint64_t* values, size_t n,
+                                        size_t expected_size,
+                                        ExecutionContext exec = {});
 
 }  // namespace memagg
 

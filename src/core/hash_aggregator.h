@@ -14,6 +14,7 @@
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "obs/query_stats.h"
 
 namespace memagg {
 
@@ -58,6 +59,24 @@ class HashVectorAggregator final : public VectorAggregator {
   size_t NumGroups() const override { return map_.size(); }
 
   size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
+
+  void CollectStats(QueryStats* stats) const override {
+    stats->Add(StatCounter::kHashEntries, map_.size());
+    if constexpr (requires { map_.rehashes(); }) {
+      stats->Add(StatCounter::kRehashes, map_.rehashes());
+    }
+    if constexpr (requires { map_.kicks(); }) {
+      stats->Add(StatCounter::kCuckooKicks, map_.kicks());
+    }
+    if constexpr (requires { map_.ComputeProbeStats(); }) {
+      const auto probe = map_.ComputeProbeStats();
+      stats->Add(StatCounter::kProbeTotal, probe.total_probes);
+      stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+    }
+    if constexpr (requires { map_.ComputeChainStats(); }) {
+      stats->MaxOf(StatCounter::kChainMax, map_.ComputeChainStats().max_chain);
+    }
+  }
 
   /// Direct access for tests.
   MapT<State>& map() { return map_; }

@@ -31,6 +31,7 @@
 #include "core/result.h"
 #include "exec/executor.h"
 #include "hash/linear_probing_map.h"
+#include "obs/query_stats.h"
 #include "sort/block_indirect_sort.h"
 #include "sort/sort_common.h"
 #include "sort/spreadsort.h"
@@ -91,9 +92,20 @@ class HybridVectorAggregator final : public VectorAggregator {
 
   size_t NumGroups() const override {
     if (!sort_mode_) return map_.size();
-    // Sort-mode group count requires the final sort; count conservatively
-    // by running the merge logic. (Iterate() is the intended consumer.)
-    return const_cast<HybridVectorAggregator*>(this)->SortedIterate().size();
+    // Sort-mode group count = distinct keys across the spilled records and
+    // the hash-phase partials. Counted over a key *copy* so `records_` is
+    // never reordered under a const method (safe to poll concurrently with
+    // other const calls, and Iterate() still sees its own input order).
+    std::vector<uint64_t> keys;
+    keys.reserve(records_.size() + partials_.size());
+    for (const auto& record : records_) keys.push_back(record.first);
+    for (const Partial& partial : partials_) keys.push_back(partial.key);
+    std::sort(keys.begin(), keys.end());
+    size_t groups = 0;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (i == 0 || keys[i] != keys[i - 1]) ++groups;
+    }
+    return groups;
   }
 
   size_t DataStructureBytes() const override {
@@ -104,6 +116,19 @@ class HybridVectorAggregator final : public VectorAggregator {
 
   /// True once the operator has flushed to sort mode (for tests/benches).
   bool in_sort_mode() const { return sort_mode_; }
+
+  void CollectStats(QueryStats* stats) const override {
+    stats->Merge(stats_);
+    stats->Add(StatCounter::kHashEntries,
+               sort_mode_ ? partials_.size() : map_.size());
+    stats->Add(StatCounter::kHybridSpills, sort_mode_ ? 1 : 0);
+    if (sort_mode_) stats->Add(StatCounter::kRowsSorted, records_.size());
+    if (!sort_mode_) {
+      const auto probe = map_.ComputeProbeStats();
+      stats->Add(StatCounter::kProbeTotal, probe.total_probes);
+      stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+    }
+  }
 
  private:
   struct Partial {
@@ -136,12 +161,15 @@ class HybridVectorAggregator final : public VectorAggregator {
   }
 
   VectorResult SortedIterate() {
-    if (exec_.num_threads > 1) {
-      BlockIndirectSort(records_.data(), records_.data() + records_.size(),
-                        KeyLess<PairFirstKey>{}, exec_.num_threads);
-    } else {
-      SpreadSort(records_.data(), records_.data() + records_.size(),
-                 PairFirstKey{});
+    {
+      PhaseTimer sort_timer(&stats_, StatPhase::kSort);
+      if (exec_.num_threads > 1) {
+        BlockIndirectSort(records_.data(), records_.data() + records_.size(),
+                          KeyLess<PairFirstKey>{}, exec_.num_threads);
+      } else {
+        SpreadSort(records_.data(), records_.data() + records_.size(),
+                   PairFirstKey{});
+      }
     }
     VectorResult result;
     if constexpr (kHolistic) {
@@ -216,6 +244,7 @@ class HybridVectorAggregator final : public VectorAggregator {
   std::vector<std::pair<uint64_t, uint64_t>> records_;
   std::vector<Partial> partials_;
   bool sort_mode_ = false;
+  QueryStats stats_;  // Sort-subphase timing (spill/probe stats on demand).
 };
 
 }  // namespace memagg

@@ -27,6 +27,7 @@
 #include "core/result.h"
 #include "exec/executor.h"
 #include "hash/linear_probing_map.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -58,14 +59,19 @@ class LocalPartitionAggregator final : public VectorAggregator {
 
   VectorResult Iterate() override {
     // Merge all thread-local tables into the first.
+    PhaseTimer merge_timer(&stats_, StatPhase::kMerge);
     LinearProbingMap<State>& merged = *locals_[0];
     for (size_t t = 1; t < locals_.size(); ++t) {
+      if (locals_[t]->size() > 0) {
+        stats_.Add(StatCounter::kMergeRounds, 1);
+      }
       locals_[t]->ForEach([&merged](uint64_t key, const State& state) {
         Aggregate::Merge(merged.GetOrInsert(key), const_cast<State&>(state));
       });
       // Free the merged-away table eagerly.
       *locals_[t] = LinearProbingMap<State>(2);
     }
+    merge_timer.Stop();
     VectorResult result;
     result.reserve(merged.size());
     merged.ForEach([&result](uint64_t key, const State& state) {
@@ -87,6 +93,18 @@ class LocalPartitionAggregator final : public VectorAggregator {
     return total;
   }
 
+  void CollectStats(QueryStats* stats) const override {
+    stats->Merge(stats_);
+    stats->Add(StatCounter::kPartitions, locals_.size());
+    for (const auto& local : locals_) {
+      stats->Add(StatCounter::kHashEntries, local->size());
+      stats->Add(StatCounter::kRehashes, local->rehashes());
+      const auto probe = local->ComputeProbeStats();
+      stats->Add(StatCounter::kProbeTotal, probe.total_probes);
+      stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+    }
+  }
+
  private:
   void BuildSlice(int t, const uint64_t* keys, const uint64_t* values,
                   size_t begin, size_t end) {
@@ -104,6 +122,7 @@ class LocalPartitionAggregator final : public VectorAggregator {
 
   ExecutionContext exec_;
   std::vector<std::unique_ptr<LinearProbingMap<State>>> locals_;
+  QueryStats stats_;  // Merge-subphase timing and merge-round counts.
 };
 
 }  // namespace memagg

@@ -19,6 +19,8 @@
 
 namespace memagg {
 
+struct QueryStats;  // obs/query_stats.h
+
 /// Operator for vector (GROUP BY) aggregation queries.
 class VectorAggregator {
  public:
@@ -63,6 +65,13 @@ class VectorAggregator {
 
   /// Approximate bytes held by the operator's data structure.
   virtual size_t DataStructureBytes() const = 0;
+
+  /// Folds the operator's execution statistics (internal phase timings and
+  /// structure-specific counters — see obs/query_stats.h) into `stats`.
+  /// Called after the phases being reported have completed; walking the
+  /// finished structure here is allowed (the cost is paid on demand, never
+  /// on the build/iterate hot path).
+  virtual void CollectStats(QueryStats* stats) const { (void)stats; }
 };
 
 /// Operator for scalar aggregation queries.

@@ -32,6 +32,7 @@
 #include "hash/cuckoo_map.h"
 #include "hash/linear_probing_map.h"
 #include "hash/striped_map.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 #include "util/spinlock.h"
 
@@ -224,6 +225,10 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
 
   size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
 
+  void CollectStats(QueryStats* stats) const override {
+    stats->Add(StatCounter::kHashEntries, map_.size());
+  }
+
  private:
   ConcurrentChainingMap<State> map_;
   ExecutionContext exec_;
@@ -264,6 +269,11 @@ class CuckooParallelAggregator final : public VectorAggregator {
 
   size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
 
+  void CollectStats(QueryStats* stats) const override {
+    stats->Add(StatCounter::kHashEntries, map_.size());
+    stats->Add(StatCounter::kCuckooKicks, map_.kicks());
+  }
+
  private:
   CuckooMap<State> map_;
   ExecutionContext exec_;
@@ -303,6 +313,17 @@ class StripedParallelAggregator final : public VectorAggregator {
   size_t NumGroups() const override { return map_.size(); }
 
   size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
+
+  void CollectStats(QueryStats* stats) const override {
+    stats->Add(StatCounter::kHashEntries, map_.size());
+    stats->Add(StatCounter::kPartitions, map_.num_stripes());
+    map_.ForEachStripe([stats](const LinearProbingMap<State>& stripe) {
+      stats->Add(StatCounter::kRehashes, stripe.rehashes());
+      const auto probe = stripe.ComputeProbeStats();
+      stats->Add(StatCounter::kProbeTotal, probe.total_probes);
+      stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+    });
+  }
 
  private:
   StripedMap<LinearProbingMap<State>> map_;

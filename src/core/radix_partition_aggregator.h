@@ -29,6 +29,7 @@
 #include "exec/executor.h"
 #include "hash/hash_fn.h"
 #include "hash/linear_probing_map.h"
+#include "obs/query_stats.h"
 #include "util/bits.h"
 #include "util/macros.h"
 
@@ -59,6 +60,7 @@ class RadixPartitionAggregator final : public VectorAggregator {
     const size_t num_morsels = NumMorselsFor(n, grain);
 
     // Phase 1: per-morsel partition histograms (parallel).
+    PhaseTimer partition_timer(&stats_, StatPhase::kPartition);
     std::vector<std::vector<size_t>> counts(
         num_morsels, std::vector<size_t>(num_partitions_, 0));
     executor.ParallelFor(
@@ -101,6 +103,7 @@ class RadixPartitionAggregator final : public VectorAggregator {
           }
         },
         grain);
+    partition_timer.Stop();
 
     // Phase 3: aggregate each partition privately — disjoint key sets, so
     // no locks and no merge. Partitions are claimed one at a time (grain 1)
@@ -144,6 +147,18 @@ class RadixPartitionAggregator final : public VectorAggregator {
     return total;
   }
 
+  void CollectStats(QueryStats* stats) const override {
+    stats->Merge(stats_);
+    stats->Add(StatCounter::kPartitions, num_partitions_);
+    for (const auto& partition : partitions_) {
+      stats->Add(StatCounter::kHashEntries, partition->size());
+      stats->Add(StatCounter::kRehashes, partition->rehashes());
+      const auto probe = partition->ComputeProbeStats();
+      stats->Add(StatCounter::kProbeTotal, probe.total_probes);
+      stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+    }
+  }
+
  private:
   size_t PartitionOf(uint64_t key) const {
     return (HashKey(key) >> 40) & (num_partitions_ - 1);
@@ -152,6 +167,7 @@ class RadixPartitionAggregator final : public VectorAggregator {
   ExecutionContext exec_;
   size_t num_partitions_;
   std::vector<std::unique_ptr<LinearProbingMap<State>>> partitions_;
+  QueryStats stats_;  // Partition-subphase timing (histogram + scatter).
 };
 
 }  // namespace memagg

@@ -19,6 +19,7 @@
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "obs/query_stats.h"
 #include "sort/sort_common.h"
 #include "util/tracer.h"
 
@@ -42,6 +43,7 @@ class SortVectorAggregator final : public VectorAggregator {
         records_[i] = {keys[i], values[i]};
         Tracer::OnAccess(&records_[i], sizeof(records_[i]));
       }
+      PhaseTimer sort_timer(&stats_, StatPhase::kSort);
       sorter_(records_.data(), records_.data() + n, PairFirstKey{});
     } else {
       keys_.assign(keys, keys + n);
@@ -50,8 +52,10 @@ class SortVectorAggregator final : public VectorAggregator {
           Tracer::OnAccess(&keys_[i], sizeof(uint64_t));
         }
       }
+      PhaseTimer sort_timer(&stats_, StatPhase::kSort);
       sorter_(keys_.data(), keys_.data() + n, IdentityKey{});
     }
+    stats_.Add(StatCounter::kRowsSorted, n);
   }
 
   void BuildOwned(std::vector<uint64_t>&& keys,
@@ -66,13 +70,19 @@ class SortVectorAggregator final : public VectorAggregator {
       }
       std::vector<uint64_t>().swap(keys);
       std::vector<uint64_t>().swap(values);
+      PhaseTimer sort_timer(&stats_, StatPhase::kSort);
       sorter_(records_.data(), records_.data() + n, PairFirstKey{});
+      sort_timer.Stop();
+      stats_.Add(StatCounter::kRowsSorted, n);
     } else {
       // In-place: adopt the caller's array and sort it directly — no copy,
       // the paper's memory-efficient sort path.
       keys_ = std::move(keys);
       values.clear();
+      PhaseTimer sort_timer(&stats_, StatPhase::kSort);
       sorter_(keys_.data(), keys_.data() + keys_.size(), IdentityKey{});
+      sort_timer.Stop();
+      stats_.Add(StatCounter::kRowsSorted, keys_.size());
     }
   }
 
@@ -103,6 +113,10 @@ class SortVectorAggregator final : public VectorAggregator {
   size_t DataStructureBytes() const override {
     return keys_.capacity() * sizeof(uint64_t) +
            records_.capacity() * sizeof(std::pair<uint64_t, uint64_t>);
+  }
+
+  void CollectStats(QueryStats* stats) const override {
+    stats->Merge(stats_);
   }
 
  private:
@@ -174,6 +188,7 @@ class SortVectorAggregator final : public VectorAggregator {
   std::vector<uint64_t> keys_;
   std::vector<std::pair<uint64_t, uint64_t>> records_;
   std::vector<uint64_t> run_values_;  // Scratch for holistic runs.
+  QueryStats stats_;                  // Sort-kernel subphase + row counts.
 };
 
 }  // namespace memagg

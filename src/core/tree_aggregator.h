@@ -14,6 +14,7 @@
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "obs/query_stats.h"
 
 namespace memagg {
 
@@ -64,6 +65,32 @@ class TreeVectorAggregator final : public VectorAggregator {
   size_t NumGroups() const override { return tree_.size(); }
 
   size_t DataStructureBytes() const override { return tree_.MemoryBytes(); }
+
+  void CollectStats(QueryStats* stats) const override {
+    // Map whichever diagnostic struct this tree family exposes (ART/Judy
+    // node censuses, B-tree/T-tree shape stats) onto the uniform counters.
+    if constexpr (requires { tree_.ComputeNodeStats(); }) {
+      const auto node_stats = tree_.ComputeNodeStats();
+      if constexpr (requires { node_stats.inner_nodes(); }) {  // ART
+        stats->Add(StatCounter::kTreeNodes,
+                   node_stats.inner_nodes() + node_stats.leaves);
+        stats->MaxOf(StatCounter::kTreeHeight, node_stats.max_depth);
+      } else {  // Judy
+        stats->Add(StatCounter::kTreeNodes, node_stats.linear_branches +
+                                                node_stats.bitmap_branches +
+                                                node_stats.bitmap_leaves);
+      }
+    } else if constexpr (requires { tree_.ComputeTreeStats(); }) {
+      const auto tree_stats = tree_.ComputeTreeStats();
+      if constexpr (requires { tree_stats.inner_nodes; }) {  // B-tree
+        stats->Add(StatCounter::kTreeNodes,
+                   tree_stats.inner_nodes + tree_stats.leaves);
+      } else {  // T-tree
+        stats->Add(StatCounter::kTreeNodes, tree_stats.nodes);
+      }
+      stats->MaxOf(StatCounter::kTreeHeight, tree_stats.height);
+    }
+  }
 
   /// Direct access for tests.
   TreeT<State>& tree() { return tree_; }

@@ -37,6 +37,7 @@
 
 #include "exec/morsel.h"
 #include "exec/task_scheduler.h"
+#include "obs/query_stats.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -47,6 +48,10 @@ namespace memagg {
 struct ExecutionContext {
   int num_threads = 1;     ///< Max workers per parallel operation (>= 1).
   size_t morsel_rows = 0;  ///< Grain override; 0 = ChooseMorselRows policy.
+  /// Optional observability sink: when set, every parallel loop records its
+  /// morsel/worker accounting into the per-worker shards (obs/query_stats.h).
+  /// Not owned; must outlive the operators running under this context.
+  StatsRegistry* stats = nullptr;
 
   ExecutionContext() = default;
   ExecutionContext(int threads) : num_threads(threads) {}  // NOLINT(runtime/explicit)
@@ -117,14 +122,24 @@ class Executor {
     if (workers <= 1) {
       // Serial fallthrough: the caller does everything, touching no pool.
       Morsel morsel;
-      while (cursor.TryClaim(0, &morsel)) fn(morsel);
+      uint64_t claimed = 0;
+      while (cursor.TryClaim(0, &morsel)) {
+        fn(morsel);
+        ++claimed;
+      }
+      RecordWorkerClaims(0, claimed);
       return;
     }
     std::atomic<int> next_worker{0};
-    auto run_worker = [&cursor, &next_worker, &fn] {
+    auto run_worker = [this, &cursor, &next_worker, &fn] {
       const int worker = next_worker.fetch_add(1, std::memory_order_relaxed);
       Morsel morsel;
-      while (cursor.TryClaim(worker, &morsel)) fn(morsel);
+      uint64_t claimed = 0;
+      while (cursor.TryClaim(worker, &morsel)) {
+        fn(morsel);
+        ++claimed;
+      }
+      RecordWorkerClaims(worker, claimed);
     };
     TaskGroup group(workers - 1);
     for (int t = 0; t < workers - 1; ++t) group.Submit(run_worker);
@@ -152,6 +167,17 @@ class Executor {
   }
 
  private:
+  /// Flushes one worker's morsel count into its registry shard. Runs once
+  /// per worker per loop (not per morsel); compiled out entirely under
+  /// MEMAGG_DISABLE_STATS.
+  void RecordWorkerClaims(int worker, uint64_t claimed) {
+    if (!StatsConfig::kEnabled) return;
+    if (ctx_.stats == nullptr || claimed == 0) return;
+    QueryStats& shard = ctx_.stats->WorkerShard(worker);
+    shard.Add(StatCounter::kMorselsClaimed, claimed);
+    shard.MaxOf(StatCounter::kWorkersUsed, static_cast<uint64_t>(worker) + 1);
+  }
+
   ExecutionContext ctx_;
 };
 

@@ -125,6 +125,11 @@ class CuckooMap {
 
   size_t size() const { return size_.load(std::memory_order_relaxed); }
 
+  /// Displacement moves executed along eviction paths (and table-growth
+  /// rehash walks) since construction. Already on the slow path — counting
+  /// adds nothing to the two-bucket fast path.
+  size_t kicks() const { return kicks_.load(std::memory_order_relaxed); }
+
   /// Invokes fn(key, value) for every stored entry. Not thread-safe.
   template <typename Fn>
   void ForEach(Fn fn) const {
@@ -293,6 +298,7 @@ class CuckooMap {
       to_bucket.values[free_slot] = std::move(from_bucket.values[from_slot]);
       from_bucket.keys[from_slot] = kEmptyKey;
       from_bucket.values[from_slot] = Value{};
+      kicks_.fetch_add(1, std::memory_order_relaxed);
     }
     return true;
   }
@@ -338,6 +344,7 @@ class CuckooMap {
           kSlotsPerBucket);
       std::swap(key, bucket.keys[victim]);
       std::swap(value, bucket.values[victim]);
+      kicks_.fetch_add(1, std::memory_order_relaxed);
       // The victim just lost the slot in bucket b; continue at its other
       // candidate bucket.
       b = ((HashKey(key) & mask_) == b ? HashKeyAlt(key) : HashKey(key)) &
@@ -352,6 +359,7 @@ class CuckooMap {
   std::shared_mutex resize_mutex_;
   std::mutex eviction_mutex_;
   std::atomic<size_t> size_{0};
+  std::atomic<size_t> kicks_{0};
 };
 
 }  // namespace memagg

@@ -94,6 +94,10 @@ class LinearProbingMap {
 
   SizingPolicy policy() const { return policy_; }
 
+  /// Growth rebuilds since construction (cold-path counter; the initial
+  /// sizing does not count).
+  size_t rehashes() const { return rehashes_; }
+
   /// Invokes fn(key, value) for every stored entry, in table order.
   template <typename Fn>
   void ForEach(Fn fn) const {
@@ -171,6 +175,7 @@ class LinearProbingMap {
 
   void Rebuild(size_t new_capacity) {
     std::vector<Slot> old_slots = std::move(slots_);
+    if (!old_slots.empty()) ++rehashes_;
     capacity_ = new_capacity;
     slots_.assign(capacity_, Slot{});
     size_ = 0;
@@ -185,6 +190,7 @@ class LinearProbingMap {
   std::vector<Slot> slots_;
   size_t capacity_ = 0;
   size_t size_ = 0;
+  size_t rehashes_ = 0;
 };
 
 }  // namespace memagg

@@ -29,6 +29,7 @@
 #include "core/aggregate.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "obs/query_stats.h"
 #include "sort/spreadsort.h"
 #include "util/macros.h"
 
@@ -167,6 +168,10 @@ class MphVectorAggregator final : public VectorAggregator {
 
   size_t DataStructureBytes() const override {
     return mph_.MemoryBytes() + states_.capacity() * sizeof(State);
+  }
+
+  void CollectStats(QueryStats* stats) const override {
+    stats->Add(StatCounter::kHashEntries, states_.size());
   }
 
  private:

@@ -94,6 +94,13 @@ class StripedMap {
 
   size_t num_stripes() const { return num_stripes_; }
 
+  /// Serial visit of every inner stripe map (diagnostics/stats collection;
+  /// must not race with writers).
+  template <typename Fn>
+  void ForEachStripe(Fn fn) const {
+    for (const auto& stripe : stripes_) fn(*stripe);
+  }
+
  private:
   size_t StripeOf(uint64_t key) const {
     // Use high hash bits for the stripe so the inner map's low-bit masking

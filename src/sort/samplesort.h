@@ -20,6 +20,42 @@ namespace sort_internal {
 
 inline constexpr int kSampleOversampling = 32;
 
+/// Routes records to samplesort buckets over a sorted splitter set.
+///
+/// A record strictly between two splitters has exactly one valid bucket. A
+/// record *equal* to one or more splitters may go to any bucket in the span
+/// [lower_bound, upper_bound] over the splitter array: equal elements need
+/// no mutual ordering, so per-bucket sorting plus in-place concatenation is
+/// globally sorted however ties are distributed. Plain upper_bound routing
+/// sends every duplicate of a splitter value to one bucket, which collapses
+/// duplicate-heavy inputs onto a single worker; instead ties are spread
+/// round-robin across their valid span, keyed on the record's global index
+/// so the histogram and scatter phases (which see the same indices) agree.
+template <typename T, typename Less>
+class SplitterRouter {
+ public:
+  SplitterRouter(std::vector<T> splitters, Less less)
+      : splitters_(std::move(splitters)), less_(less) {}
+
+  /// Bucket for the record at global position `index` with value `value`.
+  size_t BucketOf(const T& value, size_t index) const {
+    const size_t lo = static_cast<size_t>(
+        std::lower_bound(splitters_.begin(), splitters_.end(), value, less_) -
+        splitters_.begin());
+    const size_t hi = static_cast<size_t>(
+        std::upper_bound(splitters_.begin(), splitters_.end(), value, less_) -
+        splitters_.begin());
+    if (lo == hi) return lo;  // Not equal to any splitter: one valid bucket.
+    return lo + index % (hi - lo + 1);
+  }
+
+  size_t num_buckets() const { return splitters_.size() + 1; }
+
+ private:
+  std::vector<T> splitters_;
+  Less less_;
+};
+
 }  // namespace sort_internal
 
 /// Sorts [first, last) with `num_threads` workers using samplesort.
@@ -49,13 +85,8 @@ void SampleSort(T* first, T* last, Less less, int num_threads) {
   for (size_t i = 0; i + 1 < num_buckets; ++i) {
     splitters[i] = sample[(i + 1) * sort_internal::kSampleOversampling];
   }
-
-  const auto bucket_of = [&](const T& value) {
-    // Upper-bound over the sorted splitters.
-    return static_cast<size_t>(
-        std::upper_bound(splitters.begin(), splitters.end(), value, less) -
-        splitters.begin());
-  };
+  const sort_internal::SplitterRouter<T, Less> router(std::move(splitters),
+                                                      less);
 
   // Phase 1: per-morsel bucket histograms in parallel. The morsel grid is
   // deterministic, so the same grid indexes the scatter offsets in phase 2
@@ -70,7 +101,9 @@ void SampleSort(T* first, T* last, Less less, int num_threads) {
       rows,
       [&](const Morsel& m) {
         auto& counts = morsel_counts[m.index];
-        for (size_t i = m.begin; i < m.end; ++i) ++counts[bucket_of(first[i])];
+        for (size_t i = m.begin; i < m.end; ++i) {
+          ++counts[router.BucketOf(first[i], i)];
+        }
       },
       grain);
 
@@ -97,7 +130,7 @@ void SampleSort(T* first, T* last, Less less, int num_threads) {
       [&](const Morsel& m) {
         auto offsets = morsel_offsets[m.index];
         for (size_t i = m.begin; i < m.end; ++i) {
-          scattered[offsets[bucket_of(first[i])]++] = first[i];
+          scattered[offsets[router.BucketOf(first[i], i)]++] = first[i];
         }
       },
       grain);

@@ -1,5 +1,6 @@
 #include "util/memory_tracker.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 
@@ -22,7 +23,9 @@ uint64_t ReadStatusField(const char* field) {
   const size_t field_len = std::strlen(field);
   while (std::fgets(line, sizeof(line), file) != nullptr) {
     if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
-      std::sscanf(line + field_len + 1, "%lu", &kb);
+      // "%lu" would write an unsigned long into a uint64_t, which differs in
+      // width on LP32/LLP64 ABIs; SCNu64 matches uint64_t everywhere.
+      std::sscanf(line + field_len + 1, "%" SCNu64, &kb);
       break;
     }
   }

@@ -109,6 +109,42 @@ TEST(ZipfGeneratorTest, FrequencyFollowsRank) {
   EXPECT_LT(counts[0], counts[99] * 20);
 }
 
+TEST(ZipfGeneratorTest, UnitExponentUsesLogBranch) {
+  // e == 1.0 switches H/HInverse to their log/exp forms (the power form
+  // divides by 1-e). P(k) ~ 1/k: rank 0 about 100x rank 99, and every draw
+  // stays in range.
+  Rng rng;
+  ZipfGenerator zipf(100, 1.0);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 400000; ++i) {
+    const uint64_t rank = zipf.Next(rng);
+    ASSERT_LT(rank, 100u);
+    ++counts[rank];
+  }
+  EXPECT_GT(counts[0], counts[99] * 30);
+  EXPECT_GT(counts[0], counts[9] * 3);  // Mass decreases along ranks.
+  EXPECT_GT(counts[99], 0u);            // But the tail is still reachable.
+}
+
+TEST(ZipfGeneratorTest, ZeroExponentIsUniform) {
+  // e == 0 degenerates to the uniform distribution: every rank equally
+  // likely, so min and max counts stay within sampling noise of each other.
+  Rng rng;
+  ZipfGenerator zipf(100, 0.0);
+  std::vector<uint64_t> counts(100, 0);
+  for (int i = 0; i < 400000; ++i) {
+    const uint64_t rank = zipf.Next(rng);
+    ASSERT_LT(rank, 100u);
+    ++counts[rank];
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(counts.begin(), counts.end());
+  EXPECT_GT(*min_it, 0u);
+  // Expected 4000 per rank; 4 sigma of binomial noise is ~250. A 30% band
+  // is far outside noise yet catches any rank-dependent skew.
+  EXPECT_LT(*max_it, *min_it * 13 / 10 + 100);
+}
+
 TEST(ZipfGeneratorTest, SingleItem) {
   Rng rng;
   ZipfGenerator zipf(1, 0.5);

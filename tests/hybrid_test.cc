@@ -134,6 +134,33 @@ TEST(HybridTest, MatchesHashAndSortOperatorsOnEveryDistribution) {
   }
 }
 
+TEST(HybridTest, NumGroupsIsExactAndConstInSortMode) {
+  // Regression: NumGroups() used to const_cast and re-sort records_ on every
+  // call, mutating the operator under a const method (a latent race with any
+  // concurrent const access) and re-paying the sort each time. It must now
+  // report the exact distinct-key count — spilled partials plus buffered
+  // records, with keys spanning both deduplicated — without touching state.
+  HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/10);
+  std::vector<uint64_t> keys;
+  for (uint64_t k = 0; k <= 10; ++k) keys.push_back(k);  // Triggers the spill.
+  for (uint64_t k = 0; k <= 20; ++k) keys.push_back(k);  // Old + new keys.
+  aggregator.Build(keys.data(), nullptr, keys.size());
+  ASSERT_TRUE(aggregator.in_sort_mode());
+
+  // Before Iterate(): exact count, stable across repeated calls.
+  EXPECT_EQ(aggregator.NumGroups(), 21u);
+  EXPECT_EQ(aggregator.NumGroups(), 21u);
+
+  auto result = aggregator.Iterate();
+  EXPECT_EQ(result.size(), 21u);
+
+  // After Iterate(): still exact, and the result still matches the oracle.
+  EXPECT_EQ(aggregator.NumGroups(), 21u);
+  SortByKey(result);
+  EXPECT_EQ(result,
+            ReferenceVectorAggregate(keys, {}, AggregateFunction::kCount));
+}
+
 TEST(HybridTest, IncrementalBuildsSpanTheSwitch) {
   HybridVectorAggregator<CountAggregate> aggregator(0, /*max_hash_groups=*/50);
   std::vector<uint64_t> part1;

@@ -98,6 +98,66 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.threads);
     });
 
+TEST(SampleSortSplitterTest, EqualSplitterRunsSpreadAcrossBuckets) {
+  // Regression: with upper_bound-only routing, every record equal to a
+  // splitter funnels into one bucket, so a duplicate-heavy input collapses
+  // onto a single worker. The router must spread ties round-robin over
+  // their full valid splitter span.
+  std::less<uint64_t> less;
+  // 7 splitters for 8 buckets, all equal: every value 5 may go anywhere.
+  sort_internal::SplitterRouter<uint64_t, std::less<uint64_t>> router(
+      std::vector<uint64_t>(7, 5), less);
+  ASSERT_EQ(router.num_buckets(), 8u);
+  std::vector<size_t> counts(router.num_buckets(), 0);
+  const size_t n = 80000;
+  for (size_t i = 0; i < n; ++i) ++counts[router.BucketOf(5, i)];
+  for (size_t b = 0; b < counts.size(); ++b) {
+    EXPECT_EQ(counts[b], n / 8) << "bucket " << b;
+  }
+  // Non-tie values still route by the splitter comparison alone.
+  EXPECT_EQ(router.BucketOf(4, 0), 0u);
+  EXPECT_EQ(router.BucketOf(4, 123), 0u);
+  EXPECT_EQ(router.BucketOf(6, 0), 7u);
+  EXPECT_EQ(router.BucketOf(6, 999), 7u);
+}
+
+TEST(SampleSortSplitterTest, SkewedInputKeepsBucketsBalanced) {
+  // 90% of records share one key; the rest are uniform. End to end, no
+  // bucket may exceed ~60% of n (the old routing put >90% in one bucket).
+  Rng rng(11);
+  const size_t n = 200000;
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) {
+    k = rng.NextBounded(10) < 9 ? 42 : rng.NextBounded(1u << 20);
+  }
+  std::vector<uint64_t> expected = keys;
+  std::sort(expected.begin(), expected.end());
+
+  // Measure the bucket distribution through the router exactly as SampleSort
+  // builds it: oversampled splitters from the input, ties spread by index.
+  constexpr int kThreads = 8;
+  Rng sample_rng;
+  std::vector<uint64_t> sample(
+      kThreads * sort_internal::kSampleOversampling);
+  for (auto& s : sample) s = keys[sample_rng.NextBounded(n)];
+  std::sort(sample.begin(), sample.end());
+  std::vector<uint64_t> splitters(kThreads - 1);
+  for (size_t i = 0; i + 1 < static_cast<size_t>(kThreads); ++i) {
+    splitters[i] = sample[(i + 1) * sort_internal::kSampleOversampling];
+  }
+  sort_internal::SplitterRouter<uint64_t, std::less<uint64_t>> router(
+      std::move(splitters), std::less<uint64_t>{});
+  std::vector<size_t> counts(router.num_buckets(), 0);
+  for (size_t i = 0; i < n; ++i) ++counts[router.BucketOf(keys[i], i)];
+  const size_t largest = *std::max_element(counts.begin(), counts.end());
+  EXPECT_LE(largest, n * 6 / 10)
+      << "skewed input collapsed onto one samplesort bucket";
+
+  // And the full sort over the same input stays correct.
+  SampleSort(keys.data(), keys.data() + keys.size(), kThreads);
+  EXPECT_EQ(keys, expected);
+}
+
 TEST(ParallelRecordSortTest, BlockIndirectSortsRecords) {
   Rng rng(8);
   std::vector<std::pair<uint64_t, uint64_t>> records(120000);

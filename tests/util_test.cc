@@ -4,9 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <set>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 #include "util/bits.h"
 #include "util/cli.h"
@@ -262,6 +267,29 @@ TEST(MemoryTrackerTest, RssReadable) {
   EXPECT_GT(rss, 0u);
   EXPECT_GE(peak, rss / 2);  // Peak is at least in the same ballpark.
 }
+
+#if defined(__linux__)
+TEST(MemoryTrackerTest, RssPositiveAndConsistentWithStatm) {
+  // CurrentRssBytes parses the "VmRSS: <kB> kB" line of /proc/self/status
+  // (with SCNu64 — "%lu" into a uint64_t is UB where unsigned long is
+  // 32-bit). Cross-check against the independent statm resident-page count.
+  const uint64_t status_rss = CurrentRssBytes();
+  ASSERT_GT(status_rss, 0u);
+
+  FILE* file = std::fopen("/proc/self/statm", "r");
+  ASSERT_NE(file, nullptr);
+  long pages_total = 0;
+  long pages_resident = 0;
+  ASSERT_EQ(std::fscanf(file, "%ld %ld", &pages_total, &pages_resident), 2);
+  std::fclose(file);
+  const uint64_t statm_rss = static_cast<uint64_t>(pages_resident) *
+                             static_cast<uint64_t>(sysconf(_SC_PAGESIZE));
+  // Two snapshots at slightly different instants: same ballpark is enough
+  // to prove the kB field parsed as a number, not garbage.
+  EXPECT_GT(status_rss, statm_rss / 4);
+  EXPECT_LT(status_rss, statm_rss * 4);
+}
+#endif
 
 TEST(MemoryTrackerTest, ChildMeasurementSeesAllocation) {
   const uint64_t baseline = MeasurePeakRssInChild([] {});

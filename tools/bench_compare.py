@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_*.json reports and fail on performance regressions.
+
+The bench binaries (bench/bench_common.h, class BenchReport) write one JSON
+report per run:
+
+    {"bench": "<name>",
+     "params": {"records": "4000000", ...},
+     "rows": [{"series": "Rseq/Hash_LP", "x": 1000,
+               "cycles": 12345, "millis": 1.25,
+               "stats": {"phases": {...}, "counters": {...}}}, ...]}
+
+Usage:
+    bench_compare.py --self-check BENCH_vector_q1.json
+        Validate that a report conforms to the schema (used by CI).
+
+    bench_compare.py baseline.json candidate.json [--threshold 10]
+        Match rows by (series, x) and fail (exit 1) if any candidate row is
+        more than --threshold percent slower than its baseline row on the
+        chosen --metric (default: millis). Rows present on only one side are
+        reported but never fail the comparison.
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_TOP_KEYS = {"bench", "params", "rows"}
+REQUIRED_ROW_KEYS = {"series", "x", "cycles", "millis"}
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+
+
+def validate(report, path):
+    """Returns a list of schema-violation messages (empty = valid)."""
+    problems = []
+    if not isinstance(report, dict):
+        return [f"{path}: top level is not a JSON object"]
+    missing = REQUIRED_TOP_KEYS - report.keys()
+    if missing:
+        problems.append(f"{path}: missing top-level keys: {sorted(missing)}")
+    if not isinstance(report.get("bench"), str) or not report.get("bench"):
+        problems.append(f"{path}: 'bench' must be a non-empty string")
+    if not isinstance(report.get("params"), dict):
+        problems.append(f"{path}: 'params' must be an object")
+    rows = report.get("rows")
+    if not isinstance(rows, list):
+        problems.append(f"{path}: 'rows' must be an array")
+        return problems
+    seen = set()
+    for i, row in enumerate(rows):
+        where = f"{path}: rows[{i}]"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        missing = REQUIRED_ROW_KEYS - row.keys()
+        if missing:
+            problems.append(f"{where}: missing keys: {sorted(missing)}")
+            continue
+        if not isinstance(row["series"], str) or not row["series"]:
+            problems.append(f"{where}: 'series' must be a non-empty string")
+        if not isinstance(row["x"], int) or row["x"] < 0:
+            problems.append(f"{where}: 'x' must be a non-negative integer")
+        if not isinstance(row["cycles"], int) or row["cycles"] < 0:
+            problems.append(f"{where}: 'cycles' must be a non-negative integer")
+        if not isinstance(row["millis"], (int, float)) or row["millis"] < 0:
+            problems.append(f"{where}: 'millis' must be a non-negative number")
+        if "stats" in row:
+            stats = row["stats"]
+            if not isinstance(stats, dict):
+                problems.append(f"{where}: 'stats' must be an object")
+            else:
+                for section in ("phases", "counters"):
+                    if section in stats and not isinstance(
+                            stats[section], dict):
+                        problems.append(
+                            f"{where}: stats.{section} must be an object")
+        key = (row.get("series"), row.get("x"))
+        if key in seen:
+            problems.append(f"{where}: duplicate (series, x) pair {key}")
+        seen.add(key)
+    return problems
+
+
+def self_check(path):
+    report = load_report(path)
+    problems = validate(report, path)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+    print(f"{path}: OK ({report['bench']}, {len(report['rows'])} rows)")
+    return 0
+
+
+def index_rows(report):
+    return {(row["series"], row["x"]): row for row in report["rows"]}
+
+
+def compare(baseline_path, candidate_path, metric, threshold_pct):
+    baseline = load_report(baseline_path)
+    candidate = load_report(candidate_path)
+    for report, path in ((baseline, baseline_path),
+                         (candidate, candidate_path)):
+        problems = validate(report, path)
+        if problems:
+            for p in problems:
+                print(p, file=sys.stderr)
+            return 1
+
+    base_rows = index_rows(baseline)
+    cand_rows = index_rows(candidate)
+    common = sorted(base_rows.keys() & cand_rows.keys())
+    only_base = sorted(base_rows.keys() - cand_rows.keys())
+    only_cand = sorted(cand_rows.keys() - base_rows.keys())
+
+    regressions = []
+    improvements = 0
+    for key in common:
+        base = base_rows[key][metric]
+        cand = cand_rows[key][metric]
+        if base <= 0:
+            continue  # Cannot compute a ratio against a zero baseline.
+        delta_pct = 100.0 * (cand - base) / base
+        if delta_pct > threshold_pct:
+            regressions.append((key, base, cand, delta_pct))
+        elif delta_pct < 0:
+            improvements += 1
+
+    print(f"compared {len(common)} rows on '{metric}' "
+          f"(threshold {threshold_pct:.1f}%): "
+          f"{len(regressions)} regression(s), {improvements} improvement(s)")
+    for (series, x), base, cand, delta_pct in regressions:
+        print(f"  REGRESSION {series} @ x={x}: "
+              f"{base:g} -> {cand:g} ({delta_pct:+.1f}%)")
+    if only_base:
+        print(f"  note: {len(only_base)} row(s) only in baseline "
+              f"(e.g. {only_base[0]})")
+    if only_cand:
+        print(f"  note: {len(only_cand)} row(s) only in candidate "
+              f"(e.g. {only_cand[0]})")
+    return 1 if regressions else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("files", nargs="+", metavar="FILE",
+                        help="one file with --self-check, else "
+                             "BASELINE CANDIDATE")
+    parser.add_argument("--self-check", action="store_true",
+                        help="validate schema of a single report")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="fail if a row regresses by more than this "
+                             "percentage (default: 10)")
+    parser.add_argument("--metric", choices=("millis", "cycles"),
+                        default="millis",
+                        help="row field to compare (default: millis)")
+    args = parser.parse_args()
+
+    if args.self_check:
+        if len(args.files) != 1:
+            parser.error("--self-check takes exactly one file")
+        return self_check(args.files[0])
+    if len(args.files) != 2:
+        parser.error("comparison takes exactly two files "
+                     "(baseline candidate)")
+    return compare(args.files[0], args.files[1], args.metric, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

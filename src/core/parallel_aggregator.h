@@ -35,6 +35,7 @@
 #include "obs/query_stats.h"
 #include "util/macros.h"
 #include "util/spinlock.h"
+#include "util/thread_annotations.h"
 
 namespace memagg {
 
@@ -129,14 +130,17 @@ struct ConcurrentMaxAggregate {
 struct ConcurrentMedianAggregate {
   struct State {
     SpinLock lock;
-    std::vector<uint64_t> values;
+    std::vector<uint64_t> values GUARDED_BY(lock);
   };
   static constexpr bool kNeedsValues = true;
   static void Update(State& state, uint64_t value) {
-    std::lock_guard<SpinLock> guard(state.lock);
+    SpinLockGuard guard(state.lock);
     state.values.push_back(value);
   }
   static double Finalize(State& state) {
+    // Finalize runs after the parallel build; the uncontended guard keeps
+    // the buffer's locking protocol uniform for the analysis.
+    SpinLockGuard guard(state.lock);
     return MedianOfRun(state.values.data(), state.values.size());
   }
 };
@@ -145,14 +149,15 @@ struct ConcurrentMedianAggregate {
 struct ConcurrentModeAggregate {
   struct State {
     SpinLock lock;
-    std::vector<uint64_t> values;
+    std::vector<uint64_t> values GUARDED_BY(lock);
   };
   static constexpr bool kNeedsValues = true;
   static void Update(State& state, uint64_t value) {
-    std::lock_guard<SpinLock> guard(state.lock);
+    SpinLockGuard guard(state.lock);
     state.values.push_back(value);
   }
   static double Finalize(State& state) {
+    SpinLockGuard guard(state.lock);
     return ModeAggregate::FinalizeRun(state.values.data(),
                                       state.values.size());
   }

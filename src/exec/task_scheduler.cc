@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/macros.h"
+#include "util/mutex.h"
 
 namespace memagg {
 
@@ -12,7 +13,7 @@ TaskScheduler& TaskScheduler::Global() {
 }
 
 ThreadPool& TaskScheduler::pool() {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  MutexLock lock(pool_mutex_);
   if (!pool_) {
     pool_ = std::make_unique<ThreadPool>(Parallelism());
     threads_created_.fetch_add(static_cast<uint64_t>(pool_->num_threads()),
@@ -22,7 +23,7 @@ ThreadPool& TaskScheduler::pool() {
 }
 
 bool TaskScheduler::pool_started() const {
-  std::lock_guard<std::mutex> lock(pool_mutex_);
+  MutexLock lock(pool_mutex_);
   return pool_ != nullptr;
 }
 
@@ -35,31 +36,34 @@ TaskScheduler::Stats TaskScheduler::stats() const {
 }
 
 struct TaskGroup::State {
-  std::mutex mutex;
-  std::condition_variable changed;
-  std::deque<std::function<void()>> queue;
-  int in_flight = 0;  // Tasks currently executing (drivers + helper).
-  int drivers = 0;    // Pool driver tickets requested and not yet retired.
-  int max_helpers = 0;
-  std::atomic<uint64_t>* tasks_run = nullptr;  // Scheduler counter.
+  Mutex mutex;
+  CondVar changed;
+  std::deque<std::function<void()>> queue GUARDED_BY(mutex);
+  int in_flight GUARDED_BY(mutex) = 0;  // Tasks currently executing.
+  int drivers GUARDED_BY(mutex) = 0;    // Pool driver tickets outstanding.
+  int max_helpers GUARDED_BY(mutex) = 0;
+  // Scheduler counter; the pointer is set once at group construction.
+  std::atomic<uint64_t>* tasks_run GUARDED_BY(mutex) = nullptr;
 
   // Pops and runs queued tasks until the queue is empty. Entered and exited
-  // with `lock` held. Returns with the queue empty *at that instant*; other
-  // tasks may still be in flight and may refill the queue.
-  void DrainLocked(std::unique_lock<std::mutex>& lock) {
+  // with `mutex` held; drops it around each task body. Returns with the
+  // queue empty *at that instant*; other tasks may still be in flight and
+  // may refill the queue.
+  void DrainLocked() REQUIRES(mutex) {
     while (!queue.empty()) {
       std::function<void()> task = std::move(queue.front());
       queue.pop_front();
       ++in_flight;
-      lock.unlock();
+      std::atomic<uint64_t>* counter = tasks_run;
+      mutex.Unlock();
       task();
-      tasks_run->fetch_add(1, std::memory_order_relaxed);
-      lock.lock();
+      counter->fetch_add(1, std::memory_order_relaxed);
+      mutex.Lock();
       --in_flight;
       if (in_flight == 0 && queue.empty()) {
         // Completion edge: wake the Wait()er (and any idle drivers so they
         // can retire).
-        changed.notify_all();
+        changed.NotifyAll();
       }
     }
   }
@@ -69,8 +73,8 @@ namespace {
 
 /// Body of a pool driver ticket: drain the group's queue, then retire.
 void DriveGroup(const std::shared_ptr<TaskGroup::State>& state) {
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->DrainLocked(lock);
+  MutexLock lock(state->mutex);
+  state->DrainLocked();
   --state->drivers;
 }
 
@@ -79,8 +83,11 @@ void DriveGroup(const std::shared_ptr<TaskGroup::State>& state) {
 TaskGroup::TaskGroup(int max_helpers) : state_(std::make_shared<State>()) {
   MEMAGG_CHECK(max_helpers >= 0);
   TaskScheduler& scheduler = TaskScheduler::Global();
-  state_->max_helpers = max_helpers;
-  state_->tasks_run = &scheduler.tasks_run_;
+  {
+    MutexLock lock(state_->mutex);
+    state_->max_helpers = max_helpers;
+    state_->tasks_run = &scheduler.tasks_run_;
+  }
   scheduler.groups_opened_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -89,7 +96,7 @@ TaskGroup::~TaskGroup() { Wait(); }
 void TaskGroup::Submit(std::function<void()> task) {
   bool need_driver = false;
   {
-    std::lock_guard<std::mutex> lock(state_->mutex);
+    MutexLock lock(state_->mutex);
     state_->queue.push_back(std::move(task));
     if (state_->drivers < state_->max_helpers) {
       ++state_->drivers;
@@ -97,7 +104,7 @@ void TaskGroup::Submit(std::function<void()> task) {
     }
   }
   // Wake a blocked Wait()er so it can help with the new task.
-  state_->changed.notify_one();
+  state_->changed.NotifyOne();
   if (need_driver) {
     // The ticket holds only a reference to the shared state: if it fires
     // after this group drained (or died), it finds an empty queue and
@@ -108,13 +115,13 @@ void TaskGroup::Submit(std::function<void()> task) {
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(state_->mutex);
+  MutexLock lock(state_->mutex);
   while (true) {
-    state_->DrainLocked(lock);
+    state_->DrainLocked();
     if (state_->in_flight == 0 && state_->queue.empty()) return;
-    state_->changed.wait(lock, [this] {
-      return !state_->queue.empty() || state_->in_flight == 0;
-    });
+    while (state_->queue.empty() && state_->in_flight != 0) {
+      state_->changed.Wait(state_->mutex);
+    }
   }
 }
 

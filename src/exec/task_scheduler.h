@@ -25,14 +25,14 @@
 #define MEMAGG_EXEC_TASK_SCHEDULER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 
-#include "util/thread_pool.h"
+#include "exec/thread_pool.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace memagg {
 
@@ -50,10 +50,10 @@ class TaskScheduler {
   static TaskScheduler& Global();
 
   /// The shared pool, constructing it (once) with Parallelism() threads.
-  ThreadPool& pool();
+  ThreadPool& pool() EXCLUDES(pool_mutex_);
 
   /// True once pool() has been called (for tests; never starts the pool).
-  bool pool_started() const;
+  bool pool_started() const EXCLUDES(pool_mutex_);
 
   Stats stats() const;
 
@@ -61,8 +61,8 @@ class TaskScheduler {
   friend class TaskGroup;
   TaskScheduler() = default;
 
-  mutable std::mutex pool_mutex_;
-  std::unique_ptr<ThreadPool> pool_;
+  mutable Mutex pool_mutex_;
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mutex_);
   std::atomic<uint64_t> threads_created_{0};
   std::atomic<uint64_t> tasks_run_{0};
   std::atomic<uint64_t> groups_opened_{0};

@@ -1,19 +1,23 @@
-// Minimal thread pool used by the parallel sorts and the multithreaded
-// aggregation operators. Tasks may submit further tasks; Wait() blocks until
-// the whole task graph has drained. Tasks must not block on other tasks.
+// Minimal thread pool used by the task scheduler (exec/task_scheduler.h) —
+// the only place in memagg that constructs OS threads. Tasks may submit
+// further tasks; Wait() blocks until the whole task graph has drained. Tasks
+// must not block on other tasks.
+//
+// All queue state is guarded by one annotated Mutex (util/mutex.h), so
+// clang -Wthread-safety proves every access happens under the lock.
 
-#ifndef MEMAGG_UTIL_THREAD_POOL_H_
-#define MEMAGG_UTIL_THREAD_POOL_H_
+#ifndef MEMAGG_EXEC_THREAD_POOL_H_
+#define MEMAGG_EXEC_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/macros.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace memagg {
 
@@ -40,10 +44,10 @@ class ThreadPool {
 
   ~ThreadPool() {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       shutting_down_ = true;
     }
-    work_available_.notify_all();
+    work_available_.NotifyAll();
     for (auto& worker : workers_) worker.join();
   }
 
@@ -53,20 +57,20 @@ class ThreadPool {
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
   /// Enqueues a task. Safe to call from within a task.
-  void Submit(std::function<void()> task) {
+  void Submit(std::function<void()> task) EXCLUDES(mutex_) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++pending_;
       queue_.push_back(std::move(task));
     }
-    work_available_.notify_one();
+    work_available_.NotifyOne();
   }
 
   /// Blocks until every submitted task (including transitively submitted
   /// ones) has finished.
-  void Wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    all_done_.wait(lock, [this] { return pending_ == 0; });
+  void Wait() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    while (pending_ != 0) all_done_.Wait(mutex_);
   }
 
   /// Runs fn(i) for i in [0, count) across the pool and waits.
@@ -78,13 +82,12 @@ class ThreadPool {
   }
 
  private:
-  void WorkerLoop() {
+  void WorkerLoop() EXCLUDES(mutex_) {
     while (true) {
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_available_.wait(
-            lock, [this] { return shutting_down_ || !queue_.empty(); });
+        MutexLock lock(mutex_);
+        while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
         if (queue_.empty()) return;  // Shutting down.
         task = std::move(queue_.front());
         queue_.pop_front();
@@ -92,24 +95,24 @@ class ThreadPool {
       task();
       bool drained;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         drained = (--pending_ == 0);
       }
       // Notify after releasing the lock: waiters woken while the lock is
       // still held immediately block on it again (hurry-up-and-wait).
-      if (drained) all_done_.notify_all();
+      if (drained) all_done_.NotifyAll();
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  int64_t pending_ = 0;
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  int64_t pending_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 
 }  // namespace memagg
 
-#endif  // MEMAGG_UTIL_THREAD_POOL_H_
+#endif  // MEMAGG_EXEC_THREAD_POOL_H_

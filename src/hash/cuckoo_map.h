@@ -21,15 +21,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
 #include <vector>
 
 #include "hash/hash_fn.h"
 #include "util/bits.h"
 #include "util/macros.h"
+#include "util/mutex.h"
 #include "util/spinlock.h"
+#include "util/thread_annotations.h"
 #include "util/tracer.h"
 
 namespace memagg {
@@ -61,29 +61,32 @@ class CuckooMap {
   /// libcuckoo's upsert, which the paper highlights as the feature that lets
   /// Hash_LC support holistic aggregation (Section 5.8).
   template <typename Fn>
-  void Upsert(uint64_t key, Fn fn) {
+  void Upsert(uint64_t key, Fn fn) EXCLUDES(resize_mutex_) {
     MEMAGG_DCHECK(key != kEmptyKey);
     while (true) {
-      std::shared_lock<std::shared_mutex> resize_guard(resize_mutex_);
-      const size_t b1 = HashKey(key) & mask_;
-      const size_t b2 = HashKeyAlt(key) & mask_;
+      size_t buckets_seen;
       {
-        StripePair stripes(*this, b1, b2);
-        if (Value* value = FindInBuckets(key, b1, b2)) {
-          fn(*value);
-          return;
+        ReaderMutexLock resize_guard(resize_mutex_);
+        const size_t b1 = HashKey(key) & mask_;
+        const size_t b2 = HashKeyAlt(key) & mask_;
+        {
+          StripePair stripes(*this, b1, b2);
+          if (Value* value = FindInBuckets(key, b1, b2)) {
+            fn(*value);
+            return;
+          }
+          if (Value* value = TryInsertEmpty(key, b1, b2)) {
+            fn(*value);
+            size_.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
         }
-        if (Value* value = TryInsertEmpty(key, b1, b2)) {
-          fn(*value);
-          size_.fetch_add(1, std::memory_order_relaxed);
-          return;
-        }
+        // Both buckets full: displace along a BFS path, then retry the
+        // insert.
+        if (MakeSpace(b1, b2)) continue;
+        buckets_seen = buckets_.size();
       }
-      // Both buckets full: displace along a BFS path, then retry the insert.
-      if (!MakeSpace(b1, b2)) {
-        resize_guard.unlock();
-        Grow();
-      }
+      Grow(buckets_seen);
     }
   }
 
@@ -96,8 +99,8 @@ class CuckooMap {
   /// Applies `fn(Value&)` to the value for `key` if present; returns whether
   /// the key was found. Thread-safe.
   template <typename Fn>
-  bool WithValue(uint64_t key, Fn fn) {
-    std::shared_lock<std::shared_mutex> resize_guard(resize_mutex_);
+  bool WithValue(uint64_t key, Fn fn) EXCLUDES(resize_mutex_) {
+    ReaderMutexLock resize_guard(resize_mutex_);
     const size_t b1 = HashKey(key) & mask_;
     const size_t b2 = HashKeyAlt(key) & mask_;
     StripePair stripes(*this, b1, b2);
@@ -117,7 +120,9 @@ class CuckooMap {
   }
 
   /// Single-threaded convenience lookup.
-  const Value* Find(uint64_t key) const {
+  // NO_THREAD_SAFETY_ANALYSIS: documented lock-free single-threaded API —
+  // takes neither the resize lock nor stripe locks by contract.
+  const Value* Find(uint64_t key) const NO_THREAD_SAFETY_ANALYSIS {
     const size_t b1 = HashKey(key) & mask_;
     const size_t b2 = HashKeyAlt(key) & mask_;
     return const_cast<CuckooMap*>(this)->FindInBuckets(key, b1, b2);
@@ -125,14 +130,23 @@ class CuckooMap {
 
   size_t size() const { return size_.load(std::memory_order_relaxed); }
 
+  /// Current bucket-array length. Thread-safe; bounds the table's footprint
+  /// (see the growth regression test in tests/concurrent_map_test.cc).
+  size_t bucket_count() const EXCLUDES(resize_mutex_) {
+    ReaderMutexLock resize_guard(resize_mutex_);
+    return buckets_.size();
+  }
+
   /// Displacement moves executed along eviction paths (and table-growth
   /// rehash walks) since construction. Already on the slow path — counting
   /// adds nothing to the two-bucket fast path.
   size_t kicks() const { return kicks_.load(std::memory_order_relaxed); }
 
   /// Invokes fn(key, value) for every stored entry. Not thread-safe.
+  // NO_THREAD_SAFETY_ANALYSIS: documented single-threaded iteration — must
+  // not race with writers, so it deliberately takes no locks.
   template <typename Fn>
-  void ForEach(Fn fn) const {
+  void ForEach(Fn fn) const NO_THREAD_SAFETY_ANALYSIS {
     for (const Bucket& bucket : buckets_) {
       Tracer::OnAccess(&bucket, sizeof(Bucket));
       for (int slot = 0; slot < kSlotsPerBucket; ++slot) {
@@ -144,7 +158,9 @@ class CuckooMap {
   }
 
   /// Approximate heap footprint in bytes.
-  size_t MemoryBytes() const {
+  // NO_THREAD_SAFETY_ANALYSIS: diagnostics-only read; must not race with a
+  // concurrent resize by contract.
+  size_t MemoryBytes() const NO_THREAD_SAFETY_ANALYSIS {
     return buckets_.size() * sizeof(Bucket) + kNumLocks * sizeof(SpinLock);
   }
 
@@ -160,9 +176,16 @@ class CuckooMap {
   };
 
   /// RAII lock over the (deduplicated, index-ordered) stripes of two buckets.
+  /// Bucket *contents* are guarded by these stripe locks; the association is
+  /// a runtime index computation the thread-safety analysis cannot express,
+  /// so both ends of the pair are opted out with a documented escape.
   class StripePair {
    public:
-    StripePair(CuckooMap& map, size_t b1, size_t b2) {
+    // NO_THREAD_SAFETY_ANALYSIS: acquires locks_[s1]/locks_[s2] where the
+    // stripe indices are runtime values; the deduplicated index-ordered
+    // acquisition below is the deadlock-avoidance protocol.
+    StripePair(CuckooMap& map, size_t b1, size_t b2)
+        NO_THREAD_SAFETY_ANALYSIS {
       size_t s1 = b1 & (kNumLocks - 1);
       size_t s2 = b2 & (kNumLocks - 1);
       if (s1 > s2) std::swap(s1, s2);
@@ -173,7 +196,9 @@ class CuckooMap {
         second_->lock();
       }
     }
-    ~StripePair() {
+    // NO_THREAD_SAFETY_ANALYSIS: releases the dynamically chosen stripes in
+    // reverse acquisition order.
+    ~StripePair() NO_THREAD_SAFETY_ANALYSIS {
       if (second_ != nullptr) second_->unlock();
       first_->unlock();
     }
@@ -185,7 +210,8 @@ class CuckooMap {
     SpinLock* second_ = nullptr;
   };
 
-  Value* FindInBuckets(uint64_t key, size_t b1, size_t b2) {
+  Value* FindInBuckets(uint64_t key, size_t b1, size_t b2)
+      REQUIRES_SHARED(resize_mutex_) {
     for (size_t b : {b1, b2}) {
       Bucket& bucket = buckets_[b];
       Tracer::OnAccess(bucket.keys, sizeof(bucket.keys));
@@ -196,7 +222,8 @@ class CuckooMap {
     return nullptr;
   }
 
-  Value* TryInsertEmpty(uint64_t key, size_t b1, size_t b2) {
+  Value* TryInsertEmpty(uint64_t key, size_t b1, size_t b2)
+      REQUIRES_SHARED(resize_mutex_) {
     for (size_t b : {b1, b2}) {
       Bucket& bucket = buckets_[b];
       Tracer::OnAccess(bucket.keys, sizeof(bucket.keys));
@@ -221,8 +248,9 @@ class CuckooMap {
     int parent_slot;
   };
 
-  bool MakeSpace(size_t b1, size_t b2) {
-    std::lock_guard<std::mutex> eviction_guard(eviction_mutex_);
+  bool MakeSpace(size_t b1, size_t b2) REQUIRES_SHARED(resize_mutex_)
+      EXCLUDES(eviction_mutex_) {
+    MutexLock eviction_guard(eviction_mutex_);
     std::vector<PathNode> nodes;
     nodes.push_back({b1, -1, -1});
     nodes.push_back({b2, -1, -1});
@@ -263,7 +291,8 @@ class CuckooMap {
   /// slot in one of the two root buckets. Each hop locks the two buckets it
   /// touches and revalidates the key (a concurrent writer may have changed
   /// the slot; in that case we abort and let the caller retry).
-  bool ExecutePath(const std::vector<PathNode>& nodes, int leaf) {
+  bool ExecutePath(const std::vector<PathNode>& nodes, int leaf)
+      REQUIRES_SHARED(resize_mutex_) {
     // Collect the chain root -> leaf.
     std::vector<int> chain;
     for (int at = leaf; at != -1; at = nodes[at].parent) chain.push_back(at);
@@ -305,8 +334,14 @@ class CuckooMap {
 
   /// Doubles the bucket array and rehashes. Takes the resize lock
   /// exclusively, so all concurrent operations are drained first.
-  void Grow() {
-    std::unique_lock<std::shared_mutex> resize_guard(resize_mutex_);
+  /// `buckets_seen` is the bucket count the caller observed when its insert
+  /// failed: if the table has already grown past it by the time the
+  /// exclusive lock is acquired, the grow is skipped — otherwise N threads
+  /// failing MakeSpace at the same size would stack N doublings (each
+  /// waiting thread re-doubling a table that is no longer full).
+  void Grow(size_t buckets_seen) EXCLUDES(resize_mutex_) {
+    WriterMutexLock resize_guard(resize_mutex_);
+    if (buckets_.size() != buckets_seen) return;  // Lost the grow race.
     std::vector<Bucket> old_buckets(buckets_.size() * 2, Bucket{});
     old_buckets.swap(buckets_);
     mask_ = buckets_.size() - 1;
@@ -324,7 +359,7 @@ class CuckooMap {
   /// 50% load, where 4-way bucketized cuckoo insertion cannot fail short of
   /// an adversarial hash collision — which the CHECK converts into a loud
   /// failure instead of a livelock.
-  void ReinsertLocked(uint64_t key, Value value) {
+  void ReinsertLocked(uint64_t key, Value value) REQUIRES(resize_mutex_) {
     size_t b = HashKey(key) & mask_;
     for (int displacements = 0; displacements < 10000; ++displacements) {
       const size_t alt =
@@ -353,11 +388,15 @@ class CuckooMap {
     MEMAGG_CHECK(false && "cuckoo rehash failed below 50% load");
   }
 
-  std::vector<Bucket> buckets_;
-  size_t mask_ = 0;
+  // The bucket *array* (its length and storage) is guarded by resize_mutex_:
+  // shared holders may index it, only the exclusive holder (Grow) may swap
+  // it. Bucket *contents* are additionally guarded by the stripe locks —
+  // see StripePair.
+  std::vector<Bucket> buckets_ GUARDED_BY(resize_mutex_);
+  size_t mask_ GUARDED_BY(resize_mutex_) = 0;
   std::unique_ptr<SpinLock[]> locks_;
-  std::shared_mutex resize_mutex_;
-  std::mutex eviction_mutex_;
+  mutable SharedMutex resize_mutex_;
+  Mutex eviction_mutex_ ACQUIRED_AFTER(resize_mutex_);
   std::atomic<size_t> size_{0};
   std::atomic<size_t> kicks_{0};
 };

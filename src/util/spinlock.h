@@ -1,11 +1,19 @@
 // Tiny test-and-test-and-set spinlock used for lock striping in the
 // concurrent hash tables. Critical sections there are a handful of loads and
 // stores, so spinning beats parking the thread.
+//
+// SpinLock is an annotated capability (util/thread_annotations.h): guard
+// state with GUARDED_BY(lock) and acquire through SpinLockGuard so
+// clang -Wthread-safety can verify the locking protocol. The std Lockable
+// API (lock/unlock/try_lock) is kept so std::lock_guard continues to work in
+// contexts outside the analysis.
 
 #ifndef MEMAGG_UTIL_SPINLOCK_H_
 #define MEMAGG_UTIL_SPINLOCK_H_
 
 #include <atomic>
+
+#include "util/thread_annotations.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -15,13 +23,13 @@ namespace memagg {
 
 /// Spinlock satisfying the Lockable requirements (usable with
 /// std::lock_guard).
-class SpinLock {
+class CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
-  void lock() {
+  void lock() ACQUIRE() {
     while (true) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       while (locked_.load(std::memory_order_relaxed)) {
@@ -30,12 +38,12 @@ class SpinLock {
     }
   }
 
-  bool try_lock() {
+  bool try_lock() TRY_ACQUIRE(true) {
     return !locked_.load(std::memory_order_relaxed) &&
            !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void unlock() { locked_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() { locked_.store(false, std::memory_order_release); }
 
  private:
   static void Pause() {
@@ -45,6 +53,23 @@ class SpinLock {
   }
 
   std::atomic<bool> locked_{false};
+};
+
+/// RAII guard over a SpinLock, visible to the thread-safety analysis
+/// (std::lock_guard is not annotated, so locking through it is invisible
+/// to -Wthread-safety).
+class SCOPED_CAPABILITY SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) ACQUIRE(lock) : lock_(lock) {
+    lock_.lock();
+  }
+  ~SpinLockGuard() RELEASE() { lock_.unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
 };
 
 }  // namespace memagg

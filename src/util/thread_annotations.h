@@ -1,0 +1,88 @@
+// Clang thread-safety-analysis annotations (no-ops on other compilers).
+//
+// These macros attach locking contracts to types, members, and functions so
+// `clang -Wthread-safety` can prove at compile time that every access to
+// lock-protected state happens with the right capability held. GCC and MSVC
+// compile them away, so the annotated code builds everywhere; the analysis
+// itself runs in the MEMAGG_ANALYZE=ON CI job (see docs/static_analysis.md).
+//
+// Vocabulary (matching the Clang documentation):
+//   CAPABILITY(name)       — this type is a lock ("capability") named `name`.
+//   SCOPED_CAPABILITY      — RAII type that acquires in its constructor and
+//                            releases in its destructor (MutexLock).
+//   GUARDED_BY(mu)         — reads need `mu` held (shared suffices for a
+//                            shared capability); writes need it exclusively.
+//   PT_GUARDED_BY(mu)      — same, for the data a pointer points to.
+//   REQUIRES(mu)           — caller must hold `mu` exclusively.
+//   REQUIRES_SHARED(mu)    — caller must hold `mu` at least shared.
+//   ACQUIRE/RELEASE        — this function takes / drops the capability.
+//   TRY_ACQUIRE(ok, mu)    — acquires only when the function returns `ok`.
+//   EXCLUDES(mu)           — caller must NOT already hold `mu` (non-reentrant
+//                            entry points that lock internally).
+//   NO_THREAD_SAFETY_ANALYSIS — escape hatch; every use must carry a comment
+//                            explaining why the analysis cannot apply (policy
+//                            in docs/static_analysis.md).
+
+#ifndef MEMAGG_UTIL_THREAD_ANNOTATIONS_H_
+#define MEMAGG_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define MEMAGG_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MEMAGG_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+#define CAPABILITY(x) MEMAGG_THREAD_ANNOTATION(capability(x))
+
+#define SCOPED_CAPABILITY MEMAGG_THREAD_ANNOTATION(scoped_lockable)
+
+#define GUARDED_BY(x) MEMAGG_THREAD_ANNOTATION(guarded_by(x))
+
+#define PT_GUARDED_BY(x) MEMAGG_THREAD_ANNOTATION(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  MEMAGG_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  MEMAGG_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  MEMAGG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  MEMAGG_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  MEMAGG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  MEMAGG_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  MEMAGG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  MEMAGG_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  MEMAGG_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  MEMAGG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  MEMAGG_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) MEMAGG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) MEMAGG_THREAD_ANNOTATION(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MEMAGG_THREAD_ANNOTATION(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) MEMAGG_THREAD_ANNOTATION(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MEMAGG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif  // MEMAGG_UTIL_THREAD_ANNOTATIONS_H_

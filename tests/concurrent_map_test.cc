@@ -147,6 +147,35 @@ TEST(CuckooMapTest, ConcurrentVectorValues) {
   EXPECT_EQ(total, 4u * 20000u);
 }
 
+TEST(CuckooMapTest, ConcurrentGrowthStaysBounded) {
+  // Regression test: when several threads overflowed the table at the same
+  // size, each used to double it in turn after acquiring the resize lock —
+  // one overflow event could multiply the bucket array by the number of
+  // racing threads. Grow() now re-checks the bucket count it was asked to
+  // grow *from* and skips if another thread already grew the table, so the
+  // final footprint is bounded by the data, not by the thread count.
+  CuckooMap<uint64_t> map(2);  // Deliberately undersized: many grows.
+  constexpr uint64_t kKeysPerThread = 20000;
+  constexpr uint64_t kTotalKeys = kThreads * kKeysPerThread;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, t] {
+      for (uint64_t k = 0; k < kKeysPerThread; ++k) {
+        map.Upsert(static_cast<uint64_t>(t) * kKeysPerThread + k + 1,
+                   [](uint64_t& v) { ++v; });
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(map.size(), kTotalKeys);
+  // 4 slots per bucket; a duplicate-growth pile-up would overshoot this
+  // bound by whole powers of two.
+  EXPECT_LE(map.bucket_count() * 4, 8 * kTotalKeys);
+  uint64_t total = 0;
+  map.ForEach([&total](uint64_t, const uint64_t& count) { total += count; });
+  EXPECT_EQ(total, kTotalKeys);
+}
+
 TEST(CuckooMapTest, MixedReadersAndWriters) {
   CuckooMap<uint64_t> map(1024);
   std::atomic<bool> stop{false};

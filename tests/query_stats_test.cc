@@ -128,12 +128,12 @@ struct LabelCase {
 std::vector<LabelCase> AllEngineCases() {
   std::vector<LabelCase> cases;
   for (const std::string& label : SerialLabels()) cases.push_back({label, 1});
-  for (const std::string& label :
+  for (const char* label :
        {"Ttree", "Quicksort", "Sort_MSBRadix", "Sort_LSBRadix", "Hash_MPH",
         "Hybrid"}) {
     cases.push_back({label, 1});
   }
-  for (const std::string& label :
+  for (const char* label :
        {"Hash_TBBSC", "Hash_LC", "Sort_BI", "Sort_QSLB", "Sort_SS",
         "Sort_TBB", "Hybrid", "Hash_PLocal", "Hash_Striped", "Hash_PRadix"}) {
     cases.push_back({label, 4});

@@ -252,7 +252,9 @@ TEST(BtreeTest, LeafChainCoversAllKeysInOrder) {
   bool first = true;
   size_t count = 0;
   tree.ForEach([&](uint64_t key, const uint64_t&) {
-    if (!first) EXPECT_GT(key, previous);
+    if (!first) {
+      EXPECT_GT(key, previous);
+    }
     previous = key;
     first = false;
     ++count;

@@ -20,7 +20,7 @@
 #include "util/prime.h"
 #include "util/rng.h"
 #include "util/spinlock.h"
-#include "util/thread_pool.h"
+#include "exec/thread_pool.h"
 
 namespace memagg {
 namespace {
@@ -254,7 +254,9 @@ TEST(CycleTimerTest, MeasuresElapsedTime) {
   CycleTimer timer;
   timer.Start();
   volatile uint64_t sink = 0;
-  for (int i = 0; i < 1000000; ++i) sink += i;
+  for (int i = 0; i < 1000000; ++i) {
+    sink = sink + static_cast<uint64_t>(i);
+  }
   timer.Stop();
   EXPECT_GT(timer.ElapsedCycles(), 0u);
   EXPECT_GT(timer.ElapsedMillis(), 0.0);
@@ -299,7 +301,9 @@ TEST(MemoryTrackerTest, ChildMeasurementSeesAllocation) {
     std::vector<char> block(kAllocation, 1);
     // Touch every page so it is resident.
     volatile char sink = 0;
-    for (size_t i = 0; i < block.size(); i += 4096) sink += block[i];
+    for (size_t i = 0; i < block.size(); i += 4096) {
+      sink = static_cast<char>(sink + block[i]);
+    }
   });
   EXPECT_GT(with_alloc, baseline + kAllocation / 2);
 }

@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: concurrency and hygiene rules the compiler cannot see.
+
+The Clang thread-safety annotations (src/util/thread_annotations.h) check
+lock protocols; clang-tidy checks general bug patterns. This linter covers
+the repo-specific discipline that neither can express:
+
+  raw-thread           std::thread may only be constructed under src/exec/
+                       (the morsel-driven execution layer owns all threads;
+                       everything else submits to TaskGroup/Executor).
+                       std::thread::hardware_concurrency and std::this_thread
+                       are fine anywhere.
+  libc-rand            rand()/srand()/std::rand are banned everywhere: they
+                       share hidden global state across threads and wreck
+                       benchmark reproducibility. Use util/rng.h (Rng).
+  stats-in-morsel-body stats recording (StatCounter::, PhaseTimer, AddPhase,
+                       WorkerShard) must not appear inside a per-morsel
+                       lambda (`[..](const Morsel& ..) {..}`): counters are
+                       flushed once per worker per loop, never per row or
+                       per morsel, so MEMAGG_STATS=ON stays cost-free on the
+                       hot path.
+  unguarded-global     a mutable namespace-scope global (g_ prefix, or an
+                       extern declaration of one) must be std::atomic,
+                       const, or carry a GUARDED_BY annotation — otherwise
+                       it needs an explicit waiver explaining why it is safe.
+  include-guard        headers under src/ use include guards derived from
+                       their path: src/hash/cuckoo_map.h guards with
+                       MEMAGG_HASH_CUCKOO_MAP_H_.
+
+Waivers: append `// lint:allow(rule-name): reason` to the offending line or
+the line directly above it. The reason is mandatory by convention — a waiver
+is a documented decision, not an off switch.
+
+Usage:
+  tools/lint_invariants.py              lint the repo (exit 1 on violations)
+  tools/lint_invariants.py --self-test  run the rule fixtures
+Both are registered with ctest (lint_invariants, lint_invariants_selftest).
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories scanned per rule. Tests deliberately spawn raw std::thread to
+# hammer the concurrent structures from outside the execution layer, so the
+# thread and morsel rules stop at library + bench + example code.
+LIBRARY_DIRS = ("src", "bench", "examples")
+ALL_DIRS = ("src", "bench", "examples", "tests")
+
+WAIVER_RE = re.compile(r"//\s*lint:allow\(([a-z-]+)\)")
+
+
+def source_files(dirs):
+    for d in dirs:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".h", ".cc"):
+                yield path.relative_to(REPO)
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments and string/char literals, preserving line breaks
+    so reported line numbers match the file."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i > 1 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def collect_waivers(text):
+    """Maps 1-based line number -> set of waived rules. A waiver covers its
+    own line and the next line (for waiver-above-the-offender style)."""
+    waived = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in WAIVER_RE.finditer(line):
+            rule = match.group(1)
+            waived.setdefault(lineno, set()).add(rule)
+            waived.setdefault(lineno + 1, set()).add(rule)
+    return waived
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+def match_brace_span(text, open_brace):
+    """Returns the offset one past the brace matching text[open_brace]."""
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# --- Rules -------------------------------------------------------------------
+
+RAW_THREAD_RE = re.compile(r"(?<![\w:])std::thread\b(?!\s*::)")
+
+
+def check_raw_thread(relpath, stripped):
+    if str(relpath).startswith("src/exec/"):
+        return
+    for match in RAW_THREAD_RE.finditer(stripped):
+        yield (
+            line_of(stripped, match.start()),
+            "raw-thread",
+            "std::thread outside src/exec/ — submit work through "
+            "TaskGroup/Executor instead",
+        )
+
+
+LIBC_RAND_RE = re.compile(r"(?<![\w:])(?:std::)?s?rand\s*\(")
+
+
+def check_libc_rand(relpath, stripped):
+    del relpath
+    for match in LIBC_RAND_RE.finditer(stripped):
+        yield (
+            line_of(stripped, match.start()),
+            "libc-rand",
+            "rand()/srand() share hidden global state — use util/rng.h",
+        )
+
+
+MORSEL_LAMBDA_RE = re.compile(r"\(\s*const\s+Morsel\s*&")
+STATS_CALL_RE = re.compile(
+    r"StatCounter::|PhaseTimer\b|\bAddPhase\s*\(|\bWorkerShard\s*\("
+)
+
+
+def check_stats_in_morsel_body(relpath, stripped):
+    del relpath
+    for match in MORSEL_LAMBDA_RE.finditer(stripped):
+        open_brace = stripped.find("{", match.end())
+        if open_brace == -1:
+            continue
+        body_end = match_brace_span(stripped, open_brace)
+        for call in STATS_CALL_RE.finditer(stripped, open_brace, body_end):
+            yield (
+                line_of(stripped, call.start()),
+                "stats-in-morsel-body",
+                "stats recording inside a per-morsel lambda — accumulate "
+                "locally and flush once per worker (see Executor::"
+                "RecordWorkerClaims)",
+            )
+
+
+GLOBAL_DECL_RE = re.compile(
+    r"^\s*(?:extern\s+)?[A-Za-z_][\w:]*[\w:<>,\s*&]*[*&\s]g_\w+\s*[=;{]"
+)
+
+
+def check_unguarded_global(relpath, stripped):
+    if not str(relpath).startswith("src/"):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if not GLOBAL_DECL_RE.match(line):
+            continue
+        if re.search(r"\bconst\b|\bconstexpr\b|std::atomic|GUARDED_BY", line):
+            continue
+        yield (
+            lineno,
+            "unguarded-global",
+            "mutable global without std::atomic/const/GUARDED_BY — "
+            "annotate it or waive with a reason",
+        )
+
+
+def expected_guard(relpath):
+    tail = Path(*relpath.parts[1:])  # drop leading src/
+    token = re.sub(r"[^A-Za-z0-9]", "_", str(tail)).upper()
+    return f"MEMAGG_{token}_"
+
+
+def check_include_guard(relpath, stripped):
+    if relpath.suffix != ".h" or relpath.parts[0] != "src":
+        return
+    want = expected_guard(relpath)
+    ifndef = re.search(r"^#ifndef\s+(\S+)", stripped, re.MULTILINE)
+    if ifndef is None:
+        yield (1, "include-guard", f"missing include guard (expected {want})")
+        return
+    got = ifndef.group(1)
+    if got != want:
+        yield (
+            line_of(stripped, ifndef.start()),
+            "include-guard",
+            f"include guard {got} does not match path (expected {want})",
+        )
+    elif not re.search(rf"^#define\s+{re.escape(want)}\s*$", stripped,
+                       re.MULTILINE):
+        yield (
+            line_of(stripped, ifndef.start()),
+            "include-guard",
+            f"#ifndef {want} has no matching #define",
+        )
+
+
+RULES = (
+    (LIBRARY_DIRS, check_raw_thread),
+    (ALL_DIRS, check_libc_rand),
+    (LIBRARY_DIRS, check_stats_in_morsel_body),
+    (LIBRARY_DIRS, check_unguarded_global),
+    (LIBRARY_DIRS, check_include_guard),
+)
+
+
+def lint_text(relpath, text, dirs_of_file):
+    """Runs every applicable rule over one file's text. Returns a list of
+    (relpath, lineno, rule, message), waivers already applied."""
+    stripped = strip_comments_and_strings(text)
+    waived = collect_waivers(text)
+    violations = []
+    for dirs, rule_fn in RULES:
+        if relpath.parts[0] not in dirs or relpath.parts[0] not in dirs_of_file:
+            continue
+        for lineno, rule, message in rule_fn(relpath, stripped):
+            if rule in waived.get(lineno, ()):
+                continue
+            violations.append((relpath, lineno, rule, message))
+    return violations
+
+
+def lint_repo():
+    violations = []
+    for relpath in source_files(ALL_DIRS):
+        text = (REPO / relpath).read_text(encoding="utf-8")
+        violations.extend(lint_text(relpath, text, ALL_DIRS))
+    for relpath, lineno, rule, message in violations:
+        print(f"{relpath}:{lineno}: [{rule}] {message}")
+    if violations:
+        print(f"\n{len(violations)} violation(s). Waive intentional cases "
+              "with `// lint:allow(rule): reason`.")
+        return 1
+    print(f"lint_invariants: clean ({sum(1 for _ in source_files(ALL_DIRS))} "
+          "files)")
+    return 0
+
+
+# --- Self-test ---------------------------------------------------------------
+
+# Each fixture: (rule, path the snippet pretends to live at, bad snippet that
+# must fire exactly once, good snippet that must stay clean). The waiver form
+# of every bad snippet must also stay clean.
+FIXTURES = [
+    (
+        "raw-thread",
+        "src/core/widget.cc",
+        "void f() { std::thread t([]{}); t.join(); }\n",
+        "void f() { unsigned n = std::thread::hardware_concurrency();\n"
+        "  std::this_thread::yield(); (void)n; }\n",
+    ),
+    (
+        "raw-thread",
+        "src/exec/thread_pool.cc",  # exec layer owns threads: never fires
+        "",
+        "void f() { std::thread t([]{}); t.join(); }\n",
+    ),
+    (
+        "libc-rand",
+        "bench/micro.cc",
+        "int f() { return std::rand(); }\n",
+        "int f(Rng& rng) { return rng.Next(); }  // NextBounded(rand_max)\n",
+    ),
+    (
+        "stats-in-morsel-body",
+        "src/core/widget.h",
+        "void f() { exec.ParallelFor(n, [&](const Morsel& m) {\n"
+        "  stats->Add(StatCounter::kRows, m.end - m.begin); }); }\n",
+        "void f() { exec.ParallelFor(n, [&](const Morsel& m) { use(m); });\n"
+        "  stats->Add(StatCounter::kRows, n); }\n",
+    ),
+    (
+        "unguarded-global",
+        "src/core/widget.cc",
+        "Widget* g_widget = nullptr;\n",
+        "std::atomic<Widget*> g_widget{nullptr};\n"
+        "constexpr int g_limit = 3;\n"
+        "void f() { local::g_widget = nullptr; }\n",
+    ),
+    (
+        "include-guard",
+        "src/core/widget.h",
+        "#ifndef WIDGET_H\n#define WIDGET_H\n#endif\n",
+        "#ifndef MEMAGG_CORE_WIDGET_H_\n#define MEMAGG_CORE_WIDGET_H_\n"
+        "#endif  // MEMAGG_CORE_WIDGET_H_\n",
+    ),
+]
+
+
+def self_test():
+    failures = []
+    for rule, path, bad, good in FIXTURES:
+        relpath = Path(path)
+        if bad:
+            hits = [v for v in lint_text(relpath, bad, ALL_DIRS)
+                    if v[2] == rule]
+            if len(hits) != 1:
+                failures.append(
+                    f"{rule} @ {path}: bad fixture fired {len(hits)}x, want 1")
+            else:
+                lines = bad.splitlines(keepends=True)
+                lines.insert(hits[0][1] - 1, f"// lint:allow({rule}): fixture\n")
+                waived = "".join(lines)
+                if any(v[2] == rule
+                       for v in lint_text(relpath, waived, ALL_DIRS)):
+                    failures.append(f"{rule} @ {path}: waiver did not suppress")
+        if any(v[2] == rule for v in lint_text(relpath, good, ALL_DIRS)):
+            failures.append(f"{rule} @ {path}: good fixture fired")
+    # Comment/string stripping must hide tokens from the rules.
+    hidden = '// std::thread in a comment\nconst char* s = "std::rand()";\n'
+    if lint_text(Path("src/core/widget.cc"), hidden, ALL_DIRS):
+        failures.append("stripping: commented/quoted tokens fired")
+    for failure in failures:
+        print(f"SELF-TEST FAIL: {failure}")
+    if failures:
+        return 1
+    print(f"lint_invariants --self-test: {len(FIXTURES)} fixtures OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the rule fixtures instead of linting")
+    args = parser.parse_args()
+    return self_test() if args.self_test else lint_repo()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

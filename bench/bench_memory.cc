@@ -82,6 +82,47 @@ int Run(int argc, char** argv) {
       }
     }
   }
+
+  // Allocator ablation (paper Section 6): the paper swept five malloc
+  // libraries; this repo isolates the same dimension as arena-backed vs
+  // global-new twins of the chaining-map and ART build paths. Runs
+  // in-process through ExecuteVectorQuery so the QueryStats rows carry the
+  // allocator counters (arena_chunks, arena_bytes_*, freelist_reuses) into
+  // BENCH_memory.json.
+  BenchReport report("memory");
+  report.SetParam("cardinality", cardinality);
+  report.SetParam("query", "Q1");
+  const auto alloc_labels = flags.GetList(
+      "alloc_algorithms", {"Hash_SC", "Hash_SC_Global", "ART", "ART_Global"});
+  std::printf("\n# Allocator ablation: arena vs global new (Q1 count)\n");
+  std::printf(
+      "records,algorithm,millis,arena_chunks,arena_bytes_reserved,"
+      "arena_bytes_used\n");
+  for (uint64_t records : sizes) {
+    const DatasetSpec spec{Distribution::kRseq, records, cardinality, 82};
+    if (!IsValidSpec(spec)) continue;
+    const auto keys = GenerateKeys(spec);
+    for (const std::string& label : alloc_labels) {
+      const VectorQueryExecution execution =
+          ExecuteVectorQuery(label, AggregateFunction::kCount, keys.data(),
+                             nullptr, keys.size(), keys.size());
+      if (execution.result.empty()) std::abort();
+      const QueryStats& stats = execution.stats;
+      report.AddRow(label, records, stats.TotalCycles(), stats.TotalMillis(),
+                    &stats);
+      std::printf("%llu,%s,%.3f,%llu,%llu,%llu\n",
+                  static_cast<unsigned long long>(records), label.c_str(),
+                  stats.TotalMillis(),
+                  static_cast<unsigned long long>(
+                      stats.Get(StatCounter::kArenaChunks)),
+                  static_cast<unsigned long long>(
+                      stats.Get(StatCounter::kArenaBytesReserved)),
+                  static_cast<unsigned long long>(
+                      stats.Get(StatCounter::kArenaBytesUsed)));
+      std::fflush(stdout);
+    }
+  }
+  report.WriteFile();
   return 0;
 }
 

@@ -1,5 +1,9 @@
 #include "core/advisor.h"
 
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
 namespace memagg {
 
 std::string RecommendAlgorithm(const WorkloadProfile& profile) {
@@ -65,6 +69,41 @@ std::string ExplainRecommendation(const WorkloadProfile& profile) {
   if (profile.num_threads > 1) explanation += " (multithreaded)";
   explanation += " => " + RecommendAlgorithm(profile);
   return explanation;
+}
+
+size_t EstimateGroupCardinality(const uint64_t* keys, size_t n) {
+  if (n == 0) return 0;
+  constexpr size_t kSampleSize = 4096;
+  if (n <= kSampleSize) {
+    // Small input: count distinct keys exactly.
+    std::unordered_map<uint64_t, uint32_t> counts;
+    counts.reserve(n * 2);
+    for (size_t i = 0; i < n; ++i) ++counts[keys[i]];
+    return counts.size();
+  }
+  // Strided deterministic sample of ~kSampleSize rows, then the GEE
+  // estimator (Charikar et al.): keys seen once in the sample are scaled by
+  // sqrt(n/r) — they are the evidence for unseen groups — while repeated
+  // keys count once.
+  const size_t stride = n / kSampleSize;
+  std::unordered_map<uint64_t, uint32_t> counts;
+  counts.reserve(kSampleSize * 2);
+  size_t sampled = 0;
+  for (size_t i = 0; i < n; i += stride) {
+    ++counts[keys[i]];
+    ++sampled;
+  }
+  size_t singletons = 0;
+  for (const auto& [key, count] : counts) {
+    if (count == 1) ++singletons;
+  }
+  const double scale =
+      std::sqrt(static_cast<double>(n) / static_cast<double>(sampled));
+  const double estimate =
+      scale * static_cast<double>(singletons) +
+      static_cast<double>(counts.size() - singletons);
+  const size_t distinct_in_sample = counts.size();
+  return std::clamp(static_cast<size_t>(estimate), distinct_in_sample, n);
 }
 
 }  // namespace memagg

@@ -8,6 +8,8 @@
 #ifndef MEMAGG_CORE_ADVISOR_H_
 #define MEMAGG_CORE_ADVISOR_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/aggregate.h"
@@ -42,6 +44,15 @@ WorkloadProfile ProfileForQuery(const Query& query, bool worm = false,
 
 /// Human-readable explanation of the decision path taken for `profile`.
 std::string ExplainRecommendation(const WorkloadProfile& profile);
+
+/// Estimates the number of distinct group keys in `keys[0..n)` from a
+/// deterministic sample (at most a few thousand probes, so the cost is
+/// negligible next to any build). Returns an estimate in [1, n] for n > 0
+/// and 0 for n == 0. Intended for pre-sizing growable structures
+/// (VectorAggregator::ReserveGroups): an overestimate wastes some table
+/// space, an underestimate merely re-enables growth, so a rough
+/// scale-up of the sample's distinct count is sufficient.
+size_t EstimateGroupCardinality(const uint64_t* keys, size_t n);
 
 }  // namespace memagg
 

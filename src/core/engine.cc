@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "core/advisor.h"
 #include "core/hash_aggregator.h"
 #include "core/hybrid_aggregator.h"
 #include "core/local_partition_aggregator.h"
@@ -16,6 +17,7 @@
 #include "hash/linear_probing_map.h"
 #include "hash/ordered_mph.h"
 #include "hash/sparse_map.h"
+#include "mem/worker_arenas.h"
 #include "tree/art.h"
 #include "tree/btree.h"
 #include "tree/judy.h"
@@ -40,6 +42,13 @@ std::unique_ptr<VectorAggregator> MakeForAggregate(
     MEMAGG_CHECK(num_threads == 1);
     return std::make_unique<HashVectorAggregator<ChainingMap, Aggregate>>(
         expected_size);
+  }
+  if (label == "Hash_SC_Global") {
+    // Allocator-ablation twin of Hash_SC: identical chaining table, nodes
+    // from global operator new instead of the arena pool (docs/memory.md).
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<
+        HashVectorAggregator<ChainingMapGlobalNew, Aggregate>>(expected_size);
   }
   if (label == "Hash_Sparse") {
     MEMAGG_CHECK(num_threads == 1);
@@ -91,6 +100,12 @@ std::unique_ptr<VectorAggregator> MakeForAggregate(
   if (label == "ART") {
     MEMAGG_CHECK(num_threads == 1);
     return std::make_unique<TreeVectorAggregator<ArtTree, Aggregate>>();
+  }
+  if (label == "ART_Global") {
+    // Allocator-ablation twin of ART (see Hash_SC_Global above).
+    MEMAGG_CHECK(num_threads == 1);
+    return std::make_unique<
+        TreeVectorAggregator<ArtTreeGlobalNew, Aggregate>>();
   }
   if (label == "Judy") {
     MEMAGG_CHECK(num_threads == 1);
@@ -160,8 +175,8 @@ std::unique_ptr<VectorAggregator> MakeForAggregate(
 AlgorithmCategory CategoryOfLabel(const std::string& label) {
   if (label == "Hybrid") return AlgorithmCategory::kHash;  // Starts hashing.
   if (label.rfind("Hash", 0) == 0) return AlgorithmCategory::kHash;
-  if (label == "ART" || label == "Judy" || label == "Btree" ||
-      label == "Ttree") {
+  if (label == "ART" || label == "ART_Global" || label == "Judy" ||
+      label == "Btree" || label == "Ttree") {
     return AlgorithmCategory::kTree;
   }
   if (label == "Introsort" || label == "Spreadsort" || label == "Quicksort" ||
@@ -231,7 +246,16 @@ VectorQueryExecution ExecuteVectorQuery(const std::string& label,
                                         ExecutionContext exec) {
   StatsRegistry local_registry(exec.num_threads);
   if (exec.stats == nullptr) exec.stats = &local_registry;
+  // Query-local per-worker arenas: parallel operators allocate their nodes
+  // thread-locally from these and the whole pool is released when this frame
+  // unwinds (declared before `aggregator` so it outlives the structures
+  // whose nodes live in it).
+  WorkerArenas local_arenas(exec.num_threads);
+  if (exec.arenas == nullptr) exec.arenas = &local_arenas;
   auto aggregator = MakeVectorAggregator(label, function, expected_size, exec);
+  // Pre-size growable tables from a sampled cardinality estimate; the
+  // sampling cost stays outside the timed build phase.
+  aggregator->ReserveGroups(EstimateGroupCardinality(keys, n));
 
   VectorQueryExecution execution;
   // The end-to-end build/iterate clocks are the bench contract, not
@@ -258,6 +282,9 @@ VectorQueryExecution ExecuteVectorQuery(const std::string& label,
     execution.stats.Add(StatCounter::kRowsBuilt, n);
     execution.stats.Add(StatCounter::kGroupsOut, execution.result.size());
     aggregator->CollectStats(&execution.stats);
+    // Context-owned worker arenas are reported here, once per query;
+    // operators report only the allocators they own (see mem/allocator.h).
+    AddAllocStats(&execution.stats, exec.arenas->Stats());
     execution.stats.Merge(exec.stats->Collect());
   }
   return execution;

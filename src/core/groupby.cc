@@ -39,6 +39,10 @@ VectorResult GroupByAggregate(std::span<const uint64_t> keys,
                           : options.num_threads;
   auto aggregator =
       MakeVectorAggregator(label, function, keys.size(), threads);
+  aggregator->ReserveGroups(
+      options.expected_groups != 0
+          ? options.expected_groups
+          : EstimateGroupCardinality(keys.data(), keys.size()));
   aggregator->Build(keys.data(), values.empty() ? nullptr : values.data(),
                     keys.size());
   if (options.has_range_condition && aggregator->SupportsRange()) {

@@ -6,6 +6,7 @@
 #ifndef MEMAGG_CORE_GROUPBY_H_
 #define MEMAGG_CORE_GROUPBY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -26,6 +27,10 @@ struct GroupByOptions {
   bool has_range_condition = false;
   uint64_t range_lo = 0;
   uint64_t range_hi = ~0ULL;
+  /// Expected distinct group count, used to pre-size growable tables and
+  /// avoid rehash churn. 0 = estimate from a key sample (see
+  /// EstimateGroupCardinality in core/advisor.h).
+  size_t expected_groups = 0;
 };
 
 /// SELECT key, fn(value) ... GROUP BY key. `values` may be empty for

@@ -32,6 +32,12 @@ class HashVectorAggregator final : public VectorAggregator {
   /// the record count.
   explicit HashVectorAggregator(size_t expected_size) : map_(expected_size) {}
 
+  void ReserveGroups(size_t expected_groups) override {
+    if constexpr (requires { map_.Reserve(expected_groups); }) {
+      map_.Reserve(expected_groups);
+    }
+  }
+
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
     if constexpr (Aggregate::kNeedsValues) {
@@ -75,6 +81,12 @@ class HashVectorAggregator final : public VectorAggregator {
     }
     if constexpr (requires { map_.ComputeChainStats(); }) {
       stats->MaxOf(StatCounter::kChainMax, map_.ComputeChainStats().max_chain);
+    }
+    if constexpr (requires { map_.rehashes_saved(); }) {
+      stats->Add(StatCounter::kRehashesSaved, map_.rehashes_saved());
+    }
+    if constexpr (requires { map_.AllocatorStats(); }) {
+      AddAllocStats(stats, map_.AllocatorStats());
     }
   }
 

@@ -68,7 +68,9 @@ class LocalPartitionAggregator final : public VectorAggregator {
       locals_[t]->ForEach([&merged](uint64_t key, const State& state) {
         Aggregate::Merge(merged.GetOrInsert(key), const_cast<State&>(state));
       });
-      // Free the merged-away table eagerly.
+      // Free the merged-away table eagerly. Move-assignment releases the old
+      // table's slots and its arena chunks wholesale — one deallocation per
+      // partition, not one per entry.
       *locals_[t] = LinearProbingMap<State>(2);
     }
     merge_timer.Stop();
@@ -102,6 +104,7 @@ class LocalPartitionAggregator final : public VectorAggregator {
       const auto probe = local->ComputeProbeStats();
       stats->Add(StatCounter::kProbeTotal, probe.total_probes);
       stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+      AddAllocStats(stats, local->AllocatorStats());
     }
   }
 

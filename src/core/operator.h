@@ -43,6 +43,11 @@ class VectorAggregator {
     Build(keys.data(), values.empty() ? nullptr : values.data(), keys.size());
   }
 
+  /// Hint: the query will produce roughly `expected_groups` distinct groups.
+  /// Operators backed by growable tables pre-size themselves to avoid rehash
+  /// churn; others ignore it. Call before Build(), at most once.
+  virtual void ReserveGroups(size_t expected_groups) { (void)expected_groups; }
+
   /// Iterate phase: emits one row per group. Row order is
   /// implementation-defined (sorted for trees/sorts, arbitrary for hashes).
   virtual VectorResult Iterate() = 0;

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/aggregate.h"
@@ -32,6 +33,7 @@
 #include "hash/cuckoo_map.h"
 #include "hash/linear_probing_map.h"
 #include "hash/striped_map.h"
+#include "mem/worker_arenas.h"
 #include "obs/query_stats.h"
 #include "util/macros.h"
 #include "util/spinlock.h"
@@ -196,21 +198,40 @@ struct ConcurrentAggregateFor<ModeAggregate> {
 };
 
 /// Hash_TBBSC-style parallel aggregation: all threads share one
-/// ConcurrentChainingMap; group states synchronize themselves.
+/// ConcurrentChainingMap; group states synchronize themselves. Nodes are
+/// allocated from the claiming worker's arena (one pool handle per worker
+/// slot), so the parallel build never touches the global heap: workers that
+/// lose an insert race recycle the node through their own freelist.
 template <typename ConcurrentAggregate>
 class TbbStyleParallelAggregator final : public VectorAggregator {
  public:
   using State = typename ConcurrentAggregate::State;
+  using NodeAlloc = typename ConcurrentChainingMap<State>::Alloc;
 
+  /// Borrows the context's per-worker arenas when they cover the thread
+  /// budget; otherwise owns a private pool so direct construction (tests,
+  /// benches) works without an engine.
   TbbStyleParallelAggregator(size_t expected_size, ExecutionContext exec)
-      : map_(expected_size), exec_(exec) {}
+      : exec_(exec),
+        owned_arenas_(exec.arenas != nullptr &&
+                              exec.arenas->num_workers() >= exec.num_threads
+                          ? nullptr
+                          : std::make_unique<WorkerArenas>(exec.num_threads)),
+        arenas_(owned_arenas_ != nullptr ? owned_arenas_.get() : exec.arenas),
+        pools_(exec.num_threads),
+        map_(expected_size) {
+    for (int w = 0; w < pools_.size(); ++w) {
+      pools_[w].Attach(&arenas_->ForWorker(w));
+    }
+  }
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
     Executor(exec_).ParallelFor(n, [&](const Morsel& m) {
+      NodeAlloc& pool = pools_[m.worker];
       for (size_t i = m.begin; i < m.end; ++i) {
         ConcurrentAggregate::Update(
-            map_.GetOrInsert(keys[i]),
+            map_.GetOrInsert(keys[i], pool),
             ConcurrentAggregate::kNeedsValues ? values[i] : 0);
       }
     });
@@ -232,11 +253,23 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
 
   void CollectStats(QueryStats* stats) const override {
     stats->Add(StatCounter::kHashEntries, map_.size());
+    // Pool handles report their freelist traffic; arena backing is counted
+    // here only when this operator owns it (borrowed pools belong to the
+    // context, which reports them once for the whole query).
+    for (int w = 0; w < pools_.size(); ++w) {
+      AddAllocStats(stats, pools_[w].Stats());
+    }
+    if (owned_arenas_ != nullptr) AddAllocStats(stats, owned_arenas_->Stats());
   }
 
  private:
-  ConcurrentChainingMap<State> map_;
   ExecutionContext exec_;
+  std::unique_ptr<WorkerArenas> owned_arenas_;
+  WorkerArenas* arenas_;
+  WorkerLocal<NodeAlloc> pools_;
+  // Declared last: the map's destructor runs node destructors while the
+  // arenas holding those nodes are still alive.
+  ConcurrentChainingMap<State> map_;
 };
 
 /// Hash_LC-style parallel aggregation: updates run inside CuckooMap::Upsert
@@ -327,6 +360,7 @@ class StripedParallelAggregator final : public VectorAggregator {
       const auto probe = stripe.ComputeProbeStats();
       stats->Add(StatCounter::kProbeTotal, probe.total_probes);
       stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+      AddAllocStats(stats, stripe.AllocatorStats());
     });
   }
 

@@ -156,6 +156,9 @@ class RadixPartitionAggregator final : public VectorAggregator {
       const auto probe = partition->ComputeProbeStats();
       stats->Add(StatCounter::kProbeTotal, probe.total_probes);
       stats->MaxOf(StatCounter::kProbeMax, probe.max_probe);
+      // Each partition table owns a private arena, freed wholesale with the
+      // table after the merge-free iterate.
+      AddAllocStats(stats, partition->AllocatorStats());
     }
   }
 

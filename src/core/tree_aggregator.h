@@ -90,6 +90,9 @@ class TreeVectorAggregator final : public VectorAggregator {
       }
       stats->MaxOf(StatCounter::kTreeHeight, tree_stats.height);
     }
+    if constexpr (requires { tree_.AllocatorStats(); }) {
+      AddAllocStats(stats, tree_.AllocatorStats());
+    }
   }
 
   /// Direct access for tests.

@@ -42,6 +42,8 @@
 
 namespace memagg {
 
+class WorkerArenas;  // mem/worker_arenas.h
+
 /// How a query (or one operator) is allowed to execute. Implicitly
 /// constructible from a thread count so existing `num_threads` call sites
 /// read naturally.
@@ -52,6 +54,13 @@ struct ExecutionContext {
   /// morsel/worker accounting into the per-worker shards (obs/query_stats.h).
   /// Not owned; must outlive the operators running under this context.
   StatsRegistry* stats = nullptr;
+  /// Optional per-worker arena pool (mem/worker_arenas.h): operators that
+  /// build shared structures in parallel allocate nodes from the claiming
+  /// worker's arena instead of the global heap. Not owned; must outlive both
+  /// the operators running under this context and any structure whose nodes
+  /// were allocated from it. The engine injects a query-local pool when this
+  /// is null.
+  WorkerArenas* arenas = nullptr;
 
   ExecutionContext() = default;
   ExecutionContext(int threads) : num_threads(threads) {}  // NOLINT(runtime/explicit)

@@ -3,6 +3,12 @@
 // into heap-allocated singly linked nodes. Inserts are fast (no displacement,
 // no clustering); the pointer-chased layout costs locality on lookups, which
 // is exactly the trade-off the paper measures.
+//
+// Nodes come from an allocator policy (mem/allocator.h). The default is a
+// typed PoolAllocator over a private arena, which makes node allocation a
+// pointer bump and turns the destructor into a wholesale arena release for
+// trivially destructible values; `GlobalNewAllocator` restores the original
+// per-node new/delete behaviour as the ablation baseline (`Hash_SC_Global`).
 
 #ifndef MEMAGG_HASH_CHAINING_MAP_H_
 #define MEMAGG_HASH_CHAINING_MAP_H_
@@ -10,10 +16,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "hash/hash_fn.h"
+#include "mem/allocator.h"
 #include "util/macros.h"
 #include "util/prime.h"
 #include "util/tracer.h"
@@ -22,10 +30,28 @@ namespace memagg {
 
 /// Separate-chaining hash map from uint64_t keys to Value. Not thread-safe.
 /// `Tracer` reports the bucket-head and node accesses (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// `AllocPolicy` selects the node allocator; `void` resolves to
+/// PoolAllocator<Node> (the node type is private, so the default is spelled
+/// through this indirection).
+template <typename Value, typename Tracer = NullTracer,
+          typename AllocPolicy = void>
 class ChainingMap {
+ private:
+  struct Node {
+    // Constructs the value in place (no temporary), so non-trivial values
+    // are created and destroyed exactly once per node.
+    Node(uint64_t k, Node* nxt) : key(k), next(nxt) {}
+    uint64_t key;
+    Value value{};
+    Node* next;
+  };
+
  public:
-  explicit ChainingMap(size_t expected_size) {
+  using Alloc = std::conditional_t<std::is_void_v<AllocPolicy>,
+                                   PoolAllocator<Node>, AllocPolicy>;
+
+  explicit ChainingMap(size_t expected_size, Alloc alloc = Alloc())
+      : alloc_(std::move(alloc)) {
     buckets_.assign(static_cast<size_t>(NextPrime(expected_size | 1)), nullptr);
   }
 
@@ -38,6 +64,7 @@ class ChainingMap {
   Value& GetOrInsert(uint64_t key) {
     if (MEMAGG_UNLIKELY(size_ >= buckets_.size())) {
       // libstdc++ grows when the load factor would exceed 1.0.
+      ++rehashes_;
       Rehash(static_cast<size_t>(NextPrime(buckets_.size() * 2)));
     }
     const size_t idx = HashKey(key) % buckets_.size();
@@ -46,11 +73,22 @@ class ChainingMap {
       Tracer::OnAccess(node, sizeof(Node));
       if (node->key == key) return node->value;
     }
-    Node* node = new Node{key, Value{}, buckets_[idx]};
+    Node* node = alloc_.template New<Node>(key, buckets_[idx]);
     Tracer::OnAccess(node, sizeof(Node));
     buckets_[idx] = node;
     ++size_;
     return node->value;
+  }
+
+  /// Pre-sizes the bucket array for `expected_entries` keys so the build
+  /// loop never rehashes. Credits the load-factor-1.0 doublings a growth
+  /// path from the current size would have performed to `rehashes_saved()`.
+  void Reserve(size_t expected_entries) {
+    const size_t target =
+        static_cast<size_t>(NextPrime(expected_entries | 1));
+    if (target <= buckets_.size()) return;
+    for (size_t b = buckets_.size(); b < target; b *= 2) ++rehashes_saved_;
+    Rehash(target);
   }
 
   /// Returns the value for `key` or nullptr if absent.
@@ -73,6 +111,13 @@ class ChainingMap {
   size_t size() const { return size_; }
 
   size_t bucket_count() const { return buckets_.size(); }
+
+  /// Load-factor rehashes performed / avoided thanks to Reserve().
+  uint64_t rehashes() const { return rehashes_; }
+  uint64_t rehashes_saved() const { return rehashes_saved_; }
+
+  /// Node-allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
 
   /// Invokes fn(key, value) for every stored entry.
   template <typename Fn>
@@ -122,12 +167,6 @@ class ChainingMap {
   }
 
  private:
-  struct Node {
-    uint64_t key;
-    Value value;
-    Node* next;
-  };
-
   void Rehash(size_t new_bucket_count) {
     std::vector<Node*> new_buckets(new_bucket_count, nullptr);
     for (Node* head : buckets_) {
@@ -143,11 +182,16 @@ class ChainingMap {
   }
 
   void Clear() {
-    for (Node* head : buckets_) {
-      while (head != nullptr) {
-        Node* next = head->next;
-        delete head;
-        head = next;
+    // Wholesale-release fast path: with trivially destructible nodes the
+    // arena reclaims everything at once, so the per-node walk disappears.
+    if constexpr (!(Alloc::kWholesaleRelease &&
+                    std::is_trivially_destructible_v<Node>)) {
+      for (Node* head : buckets_) {
+        while (head != nullptr) {
+          Node* next = head->next;
+          alloc_.Delete(head);
+          head = next;
+        }
       }
     }
     buckets_.clear();
@@ -156,7 +200,15 @@ class ChainingMap {
 
   std::vector<Node*> buckets_;
   size_t size_ = 0;
+  uint64_t rehashes_ = 0;
+  uint64_t rehashes_saved_ = 0;
+  Alloc alloc_;
 };
+
+/// Ablation alias: chaining map on global new/delete (label Hash_SC_Global).
+template <typename Value>
+using ChainingMapGlobalNew =
+    ChainingMap<Value, NullTracer, GlobalNewAllocator>;
 
 }  // namespace memagg
 

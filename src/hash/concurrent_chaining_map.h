@@ -13,9 +13,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "hash/hash_fn.h"
+#include "mem/allocator.h"
 #include "util/bits.h"
 #include "util/macros.h"
 
@@ -26,9 +28,30 @@ namespace memagg {
 /// The bucket array is sized once at construction (the paper's operators
 /// size tables to the dataset size); chains absorb any excess. GetOrInsert /
 /// Find are thread-safe; ForEach must not race with writers.
-template <typename Value>
+///
+/// Node allocation is explicit: GetOrInsert takes an allocator handle, and
+/// each worker passes its own (typically a PoolAllocator over that worker's
+/// arena slot from mem/worker_arenas.h). Allocation therefore never
+/// synchronizes — the published structure is shared, the memory behind it
+/// is thread-local. Every allocator handle (and any arena it draws from)
+/// must outlive the map. `AllocPolicy = void` resolves to
+/// PoolAllocator<Node> (the node type is private, hence the indirection).
+template <typename Value, typename AllocPolicy = void>
 class ConcurrentChainingMap {
+ private:
+  struct Node {
+    // Value is default-constructed in place so non-movable values (atomics,
+    // lock-guarded buffers) are supported.
+    Node(uint64_t k, Node* nxt) : key(k), next(nxt) {}
+    uint64_t key;
+    Value value{};
+    Node* next;
+  };
+
  public:
+  using Alloc = std::conditional_t<std::is_void_v<AllocPolicy>,
+                                   PoolAllocator<Node>, AllocPolicy>;
+
   explicit ConcurrentChainingMap(size_t expected_size)
       : buckets_(static_cast<size_t>(NextPowerOfTwo(expected_size + 1))),
         mask_(buckets_.size() - 1) {
@@ -36,13 +59,20 @@ class ConcurrentChainingMap {
   }
 
   ~ConcurrentChainingMap() {
-    for (auto& head : buckets_) {
-      Node* node = head.load(std::memory_order_relaxed);
-      while (node != nullptr) {
-        Node* next = node->next;
-        delete node;
-        node = next;
+    if constexpr (Alloc::kWholesaleRelease) {
+      // The arenas behind the workers' allocator handles release the node
+      // memory wholesale; only non-trivial values need their destructors
+      // run (exactly once — race-loss nodes were already destroyed by the
+      // losing worker's Delete and are unreachable from the buckets).
+      if constexpr (!std::is_trivially_destructible_v<Node>) {
+        ForEachNode([](Node* node) { node->~Node(); });
       }
+    } else {
+      static_assert(std::is_empty_v<Alloc>,
+                    "non-wholesale allocators must be stateless so the map "
+                    "can free nodes without the workers' handles");
+      Alloc alloc;
+      ForEachNode([&alloc](Node* node) { alloc.Delete(node); });
     }
   }
 
@@ -50,13 +80,15 @@ class ConcurrentChainingMap {
   ConcurrentChainingMap& operator=(const ConcurrentChainingMap&) = delete;
 
   /// Returns the value slot for `key`, inserting a default-constructed value
-  /// if absent. Thread-safe; on insert races exactly one node wins and all
-  /// callers converge on it.
-  Value& GetOrInsert(uint64_t key) {
+  /// if absent. Thread-safe as long as `alloc` is the calling worker's own
+  /// handle; on insert races exactly one node wins, all callers converge on
+  /// it, and the loser's node goes back to the loser's own freelist (it was
+  /// never published, so no other thread can observe it).
+  Value& GetOrInsert(uint64_t key, Alloc& alloc) {
     std::atomic<Node*>& head = buckets_[HashKey(key) & mask_];
     Node* first = head.load(std::memory_order_acquire);
     if (Value* found = FindInChain(first, key)) return *found;
-    Node* node = new Node(key, first);
+    Node* node = alloc.template New<Node>(key, first);
     while (!head.compare_exchange_weak(node->next, node,
                                        std::memory_order_release,
                                        std::memory_order_acquire)) {
@@ -64,7 +96,7 @@ class ConcurrentChainingMap {
       // freshly pushed prefix needs rescanning.
       if (Value* found =
               FindInChain(node->next, key, /*stop_at=*/first)) {
-        delete node;
+        alloc.Delete(node);
         return *found;
       }
       first = node->next;
@@ -107,14 +139,18 @@ class ConcurrentChainingMap {
   }
 
  private:
-  struct Node {
-    // Value is default-constructed in place so non-movable values (atomics,
-    // lock-guarded buffers) are supported.
-    Node(uint64_t k, Node* nxt) : key(k), next(nxt) {}
-    uint64_t key;
-    Value value{};
-    Node* next;
-  };
+  /// Visits every published node (single-threaded; destruction only).
+  template <typename Fn>
+  void ForEachNode(Fn fn) {
+    for (auto& head : buckets_) {
+      Node* node = head.load(std::memory_order_relaxed);
+      while (node != nullptr) {
+        Node* next = node->next;
+        fn(node);
+        node = next;
+      }
+    }
+  }
 
   static const Value* FindInChain(const Node* node, uint64_t key,
                                   const Node* stop_at = nullptr) {

@@ -50,7 +50,7 @@ class CuckooMap {
         static_cast<size_t>(NextPowerOfTwo(expected_size / 3 + 1));
     buckets_.assign(std::max<size_t>(buckets, 2), Bucket{});
     mask_ = buckets_.size() - 1;
-    locks_.reset(new SpinLock[kNumLocks]);
+    locks_ = std::make_unique<SpinLock[]>(kNumLocks);
   }
 
   CuckooMap(const CuckooMap&) = delete;

@@ -9,6 +9,11 @@
 //     requested size (kExact), both of which use the slower modulo reduction;
 //   * all items live in one contiguous slot array — no pointers — which is
 //     what gives Hash_LP its cache-friendly layout.
+//
+// The slot array comes from an allocator policy (mem/allocator.h). With the
+// default arena allocator each map owns a private arena released wholesale
+// when the map dies — partitioned aggregators exploit this to free a whole
+// partition's table in one shot after merging it.
 
 #ifndef MEMAGG_HASH_LINEAR_PROBING_MAP_H_
 #define MEMAGG_HASH_LINEAR_PROBING_MAP_H_
@@ -16,10 +21,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <new>
+#include <type_traits>
 #include <utility>
-#include <vector>
 
 #include "hash/hash_fn.h"
+#include "mem/allocator.h"
 #include "util/bits.h"
 #include "util/macros.h"
 #include "util/prime.h"
@@ -36,16 +43,53 @@ enum class SizingPolicy {
 
 /// Open-addressing hash map with linear probing from uint64_t keys to Value.
 /// Keys must not be kEmptyKey. Not thread-safe. `Tracer` reports every slot
-/// touched (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// touched (see util/tracer.h); `Alloc` provides the slot array.
+template <typename Value, typename Tracer = NullTracer,
+          typename Alloc = ArenaAllocator>
 class LinearProbingMap {
  public:
   /// `expected_size` pre-sizes the table; the paper sizes tables to the
   /// dataset size since group-by cardinality is unknown in advance.
   explicit LinearProbingMap(size_t expected_size,
-                            SizingPolicy policy = SizingPolicy::kPowerOfTwo)
-      : policy_(policy) {
+                            SizingPolicy policy = SizingPolicy::kPowerOfTwo,
+                            Alloc alloc = Alloc())
+      : policy_(policy), alloc_(std::move(alloc)) {
     Rebuild(DesiredCapacity(expected_size + 1));
+  }
+
+  ~LinearProbingMap() { DestroySlots(); }
+
+  LinearProbingMap(const LinearProbingMap&) = delete;
+  LinearProbingMap& operator=(const LinearProbingMap&) = delete;
+
+  LinearProbingMap(LinearProbingMap&& other) noexcept
+      : policy_(other.policy_),
+        alloc_(std::move(other.alloc_)),
+        slots_(other.slots_),
+        capacity_(other.capacity_),
+        size_(other.size_),
+        rehashes_(other.rehashes_) {
+    other.slots_ = nullptr;
+    other.capacity_ = 0;
+    other.size_ = 0;
+    other.rehashes_ = 0;
+  }
+
+  LinearProbingMap& operator=(LinearProbingMap&& other) noexcept {
+    if (this != &other) {
+      DestroySlots();  // Before alloc_ is replaced: the slots live in it.
+      policy_ = other.policy_;
+      alloc_ = std::move(other.alloc_);
+      slots_ = other.slots_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      rehashes_ = other.rehashes_;
+      other.slots_ = nullptr;
+      other.capacity_ = 0;
+      other.size_ = 0;
+      other.rehashes_ = 0;
+    }
+    return *this;
   }
 
   /// Returns the value slot for `key`, default-constructing it on first use.
@@ -98,10 +142,14 @@ class LinearProbingMap {
   /// sizing does not count).
   size_t rehashes() const { return rehashes_; }
 
+  /// Slot-array allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
+
   /// Invokes fn(key, value) for every stored entry, in table order.
   template <typename Fn>
   void ForEach(Fn fn) const {
-    for (const Slot& slot : slots_) {
+    for (size_t idx = 0; idx < capacity_; ++idx) {
+      const Slot& slot = slots_[idx];
       Tracer::OnAccess(&slot, sizeof(Slot));
       if (slot.key != kEmptyKey) fn(slot.key, slot.value);
     }
@@ -174,20 +222,43 @@ class LinearProbingMap {
   }
 
   void Rebuild(size_t new_capacity) {
-    std::vector<Slot> old_slots = std::move(slots_);
-    if (!old_slots.empty()) ++rehashes_;
+    Slot* old_slots = slots_;
+    const size_t old_capacity = capacity_;
+    if (old_slots != nullptr) ++rehashes_;
     capacity_ = new_capacity;
-    slots_.assign(capacity_, Slot{});
+    slots_ = static_cast<Slot*>(
+        alloc_.AllocateBytes(new_capacity * sizeof(Slot), alignof(Slot)));
+    for (size_t i = 0; i < new_capacity; ++i) new (&slots_[i]) Slot();
     size_ = 0;
-    for (Slot& slot : old_slots) {
+    for (size_t i = 0; i < old_capacity; ++i) {
+      Slot& slot = old_slots[i];
       if (slot.key != kEmptyKey) {
         GetOrInsert(slot.key) = std::move(slot.value);
       }
     }
+    if (old_slots != nullptr) {
+      ReleaseSlots(old_slots, old_capacity);
+    }
+  }
+
+  void DestroySlots() {
+    if (slots_ == nullptr) return;
+    ReleaseSlots(slots_, capacity_);
+    slots_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
+  }
+
+  void ReleaseSlots(Slot* slots, size_t count) {
+    if constexpr (!std::is_trivially_destructible_v<Slot>) {
+      for (size_t i = 0; i < count; ++i) slots[i].~Slot();
+    }
+    alloc_.DeallocateBytes(slots, count * sizeof(Slot));
   }
 
   SizingPolicy policy_;
-  std::vector<Slot> slots_;
+  Alloc alloc_;
+  Slot* slots_ = nullptr;
   size_t capacity_ = 0;
   size_t size_ = 0;
   size_t rehashes_ = 0;

@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "hash/hash_fn.h"
+#include "mem/allocator.h"
 #include "util/bits.h"
 #include "util/macros.h"
 #include "util/tracer.h"
@@ -24,15 +26,26 @@ namespace memagg {
 
 /// Sparse quadratic-probing hash map from uint64_t keys to Value.
 /// Value must be movable. Not thread-safe. `Tracer` reports group-bitmap and
-/// packed-entry accesses (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// packed-entry accesses (see util/tracer.h). `Alloc` serves the exact-fit
+/// packed entry arrays, whose per-insert reallocation makes Hash_Sparse
+/// heavily allocator-bound — the default arena allocator recycles retired
+/// arrays through its size-class freelists.
+template <typename Value, typename Tracer = NullTracer,
+          typename Alloc = ArenaAllocator>
 class SparseMap {
  public:
   explicit SparseMap(size_t expected_size) {
     Rebuild(static_cast<size_t>(NextPowerOfTwo(expected_size + 1)));
   }
 
-  ~SparseMap() { DestroyGroups(); }
+  ~SparseMap() {
+    // Wholesale-release fast path: the arena reclaims all packed arrays at
+    // once when trivially destructible.
+    if constexpr (!(Alloc::kWholesaleRelease &&
+                    std::is_trivially_destructible_v<Value>)) {
+      DestroyGroups();
+    }
+  }
 
   SparseMap(const SparseMap&) = delete;
   SparseMap& operator=(const SparseMap&) = delete;
@@ -54,7 +67,7 @@ class SparseMap {
         Tracer::OnAccess(&group.entries[rank], sizeof(Entry));
         if (group.entries[rank].key == key) return group.entries[rank].value;
       } else {
-        Entry& entry = group.InsertAt(rank, bit, key);
+        Entry& entry = group.InsertAt(alloc_, rank, bit, key);
         ++size_;
         return entry.value;
       }
@@ -104,6 +117,9 @@ class SparseMap {
     return groups_.size() * sizeof(Group) + size_ * sizeof(Entry);
   }
 
+  /// Entry-array allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
+
  private:
   static constexpr size_t kGroupSize = 48;  // sparsehash's group width.
 
@@ -128,10 +144,10 @@ class SparseMap {
 
     /// Inserts a default-valued entry for `key` at packed position `rank`,
     /// reallocating the packed array to the exact new size.
-    Entry& InsertAt(size_t rank, uint32_t bit, uint64_t key) {
+    Entry& InsertAt(Alloc& alloc, size_t rank, uint32_t bit, uint64_t key) {
       const size_t old_count = Count();
       Entry* new_entries = static_cast<Entry*>(
-          ::operator new(sizeof(Entry) * (old_count + 1)));
+          alloc.AllocateBytes(sizeof(Entry) * (old_count + 1), alignof(Entry)));
       for (size_t i = 0; i < rank; ++i) {
         new (&new_entries[i]) Entry{entries[i].key, std::move(entries[i].value)};
       }
@@ -140,7 +156,7 @@ class SparseMap {
         new (&new_entries[i + 1])
             Entry{entries[i].key, std::move(entries[i].value)};
       }
-      FreeEntries(old_count);
+      FreeEntries(alloc, old_count);
       entries = new_entries;
       bitmap |= 1ULL << bit;
       // The exact-fit reallocation rewrites the whole packed array — the
@@ -149,16 +165,16 @@ class SparseMap {
       return entries[rank];
     }
 
-    void FreeEntries(size_t count) {
+    void FreeEntries(Alloc& alloc, size_t count) {
       if (entries == nullptr) return;
       for (size_t i = 0; i < count; ++i) entries[i].~Entry();
-      ::operator delete(entries);
+      alloc.DeallocateBytes(entries, sizeof(Entry) * count);
       entries = nullptr;
     }
   };
 
   void DestroyGroups() {
-    for (Group& group : groups_) group.FreeEntries(group.Count());
+    for (Group& group : groups_) group.FreeEntries(alloc_, group.Count());
     groups_.clear();
   }
 
@@ -173,7 +189,7 @@ class SparseMap {
       for (size_t i = 0; i < count; ++i) {
         GetOrInsert(group.entries[i].key) = std::move(group.entries[i].value);
       }
-      group.FreeEntries(count);
+      group.FreeEntries(alloc_, count);
     }
   }
 
@@ -181,6 +197,7 @@ class SparseMap {
   size_t capacity_ = 0;
   size_t mask_ = 0;
   size_t size_ = 0;
+  Alloc alloc_;
 };
 
 }  // namespace memagg

@@ -39,7 +39,7 @@ class StripedMap {
   /// contention but worse per-stripe locality; 64 suits up to ~16 threads.
   explicit StripedMap(size_t expected_size, size_t num_stripes = 64)
       : num_stripes_(NextPowerOfTwo(num_stripes)),
-        locks_(new SpinLock[num_stripes_]) {
+        locks_(std::make_unique<SpinLock[]>(num_stripes_)) {
     MEMAGG_CHECK(num_stripes >= 1);
     stripes_.reserve(num_stripes_);
     for (size_t s = 0; s < num_stripes_; ++s) {

@@ -1,0 +1,193 @@
+// Chunked bump-pointer arena — the backbone of the allocator dimension
+// (paper Section 6). The paper shows node-based aggregation structures
+// swing dramatically with the malloc implementation; this repo substitutes
+// the five malloc libraries with a sharper ablation: all per-node
+// allocations come either from a bump arena (this file) or from global
+// new/delete (mem/allocator.h), so the allocation cost is isolated from
+// the structure logic. See docs/memory.md.
+//
+// An Arena hands out memory by bumping a cursor through geometrically
+// growing chunks. Individual allocations are never returned to the OS;
+// the whole arena is released wholesale — either by Reset(), which keeps
+// the largest chunk hot for the next query, or by destruction. Allocation
+// is therefore one pointer bump on the fast path and the per-node free
+// walk that dominates destructor time for chained/tree structures under
+// global new is gone entirely.
+//
+// Not thread-safe: one Arena per owner (structure, worker, partition).
+// Parallel operators use one arena per worker slot (mem/worker_arenas.h).
+
+#ifndef MEMAGG_MEM_ARENA_H_
+#define MEMAGG_MEM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+/// Allocator observability counters, surfaced through CollectStats() into
+/// QueryStats (obs/query_stats.h). Plain data; merge by summing.
+struct AllocStats {
+  uint64_t chunks = 0;           ///< Chunks currently reserved.
+  uint64_t bytes_reserved = 0;   ///< Sum of reserved chunk capacities.
+  uint64_t bytes_used = 0;       ///< Bytes bump-allocated since last Reset().
+  uint64_t bytes_wasted = 0;     ///< Stranded tails + freed-in-place bytes.
+  uint64_t freelist_reuses = 0;  ///< Allocations served from a freelist.
+
+  void Merge(const AllocStats& other) {
+    chunks += other.chunks;
+    bytes_reserved += other.bytes_reserved;
+    bytes_used += other.bytes_used;
+    bytes_wasted += other.bytes_wasted;
+    freelist_reuses += other.freelist_reuses;
+  }
+};
+
+/// Chunked bump allocator with geometric chunk growth and wholesale
+/// release. Allocations are uniform in cost (one bump) and are never freed
+/// individually — callers that retire an object mid-life layer a freelist
+/// on top (mem/allocator.h).
+class Arena {
+ public:
+  static constexpr size_t kMinChunkBytes = 4096;
+  static constexpr size_t kMaxChunkBytes = size_t{1} << 20;  // Growth cap.
+
+  /// The first chunk is allocated lazily on first use, so idle arenas
+  /// (e.g. unused worker slots) cost nothing.
+  explicit Arena(size_t first_chunk_bytes = kMinChunkBytes)
+      : next_chunk_bytes_(first_chunk_bytes) {}
+
+  ~Arena() { FreeChunks(head_); }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` bytes aligned to `align` (a power of two no larger
+  /// than alignof(std::max_align_t)). Never returns nullptr.
+  void* Allocate(size_t bytes, size_t align = alignof(std::max_align_t)) {
+    MEMAGG_DCHECK(align != 0 && (align & (align - 1)) == 0);
+    char* aligned = AlignUp(cursor_, align);
+    if (MEMAGG_UNLIKELY(aligned > limit_ ||
+                        static_cast<size_t>(limit_ - aligned) < bytes)) {
+      return AllocateSlow(bytes, align);
+    }
+    bytes_used_ += static_cast<uint64_t>(aligned - cursor_) + bytes;
+    cursor_ = aligned + bytes;
+    return aligned;
+  }
+
+  /// Constructs a T from the arena. The arena never runs destructors:
+  /// owners of non-trivially-destructible objects destroy them explicitly
+  /// (or via an allocator's Delete) before Reset()/destruction.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    void* mem = Allocate(sizeof(T), alignof(T));
+    return ::new (mem) T(static_cast<Args&&>(args)...);
+  }
+
+  /// Wholesale release: every allocation made since the last Reset() dies
+  /// at once. The newest (largest, thanks to geometric growth) chunk is
+  /// kept hot for reuse across queries; older chunks are returned to the
+  /// system. Callers must have destroyed any non-trivially-destructible
+  /// objects still living in the arena.
+  void Reset() {
+    if (head_ != nullptr) {
+      FreeChunks(head_->prev);
+      head_->prev = nullptr;
+      chunks_ = 1;
+      bytes_reserved_ = head_->capacity;
+      cursor_ = Payload(head_);
+      limit_ = cursor_ + head_->capacity;
+    }
+    bytes_used_ = 0;
+    bytes_wasted_ = 0;
+    ++resets_;
+  }
+
+  uint64_t bytes_used() const { return bytes_used_; }
+  uint64_t bytes_reserved() const { return bytes_reserved_; }
+  uint64_t chunks() const { return chunks_; }
+  uint64_t resets() const { return resets_; }
+
+  AllocStats Stats() const {
+    AllocStats stats;
+    stats.chunks = chunks_;
+    stats.bytes_reserved = bytes_reserved_;
+    stats.bytes_used = bytes_used_;
+    stats.bytes_wasted = bytes_wasted_;
+    return stats;
+  }
+
+ private:
+  struct Chunk {
+    Chunk* prev;
+    size_t capacity;  ///< Payload bytes following this header.
+  };
+
+  static char* AlignUp(char* ptr, size_t align) {
+    const uintptr_t value = reinterpret_cast<uintptr_t>(ptr);
+    const uintptr_t mask = static_cast<uintptr_t>(align - 1);
+    return reinterpret_cast<char*>((value + mask) & ~mask);
+  }
+
+  static char* Payload(Chunk* chunk) {
+    return reinterpret_cast<char*>(chunk) + sizeof(Chunk);
+  }
+
+  void* AllocateSlow(size_t bytes, size_t align) {
+    if (head_ != nullptr) {
+      bytes_wasted_ += static_cast<uint64_t>(limit_ - cursor_);
+    }
+    // Worst-case alignment slack: ::operator new aligns the chunk to
+    // max_align_t, and sizeof(Chunk) preserves that for the payload, so
+    // only over-aligned requests (none today) would need the extra slack.
+    const size_t payload = bytes + align;
+    size_t chunk_bytes = next_chunk_bytes_;
+    if (chunk_bytes < payload + sizeof(Chunk)) {
+      chunk_bytes = payload + sizeof(Chunk);
+    }
+    Chunk* chunk = static_cast<Chunk*>(::operator new(chunk_bytes));
+    chunk->prev = head_;
+    chunk->capacity = chunk_bytes - sizeof(Chunk);
+    head_ = chunk;
+    cursor_ = Payload(chunk);
+    limit_ = cursor_ + chunk->capacity;
+    ++chunks_;
+    bytes_reserved_ += chunk->capacity;
+    if (next_chunk_bytes_ < kMaxChunkBytes) {
+      next_chunk_bytes_ = next_chunk_bytes_ * 2 < kMaxChunkBytes
+                              ? next_chunk_bytes_ * 2
+                              : kMaxChunkBytes;
+    }
+    char* aligned = AlignUp(cursor_, align);
+    MEMAGG_DCHECK(static_cast<size_t>(limit_ - aligned) >= bytes);
+    bytes_used_ += static_cast<uint64_t>(aligned - cursor_) + bytes;
+    cursor_ = aligned + bytes;
+    return aligned;
+  }
+
+  static void FreeChunks(Chunk* chunk) {
+    while (chunk != nullptr) {
+      Chunk* prev = chunk->prev;
+      ::operator delete(chunk);
+      chunk = prev;
+    }
+  }
+
+  Chunk* head_ = nullptr;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  size_t next_chunk_bytes_;
+  uint64_t chunks_ = 0;
+  uint64_t bytes_reserved_ = 0;
+  uint64_t bytes_used_ = 0;
+  uint64_t bytes_wasted_ = 0;
+  uint64_t resets_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_MEM_ARENA_H_

@@ -1,0 +1,73 @@
+// Per-worker arena pool for morsel-driven parallel builds.
+//
+// A shared structure built under ParallelFor (e.g. Hash_TBBSC's concurrent
+// chaining map) would serialize on a global malloc lock if every worker
+// called new per node — the exact effect the paper's allocator dimension
+// measures. Instead each worker slot gets its own Arena: the morsel's
+// stable `worker` index picks the slot, so allocation is thread-local and
+// lock-free even though the structure being built is shared.
+//
+// The pool is reachable through ExecutionContext::arenas. The engine
+// injects a query-local pool when the caller does not provide one; callers
+// that share a pool across queries must keep it alive for as long as any
+// structure whose nodes were allocated from it, and may ResetAll() only
+// between queries.
+
+#ifndef MEMAGG_MEM_WORKER_ARENAS_H_
+#define MEMAGG_MEM_WORKER_ARENAS_H_
+
+#include <memory>
+#include <vector>
+
+#include "mem/arena.h"
+#include "util/macros.h"
+
+namespace memagg {
+
+/// One Arena per worker slot, cache-line padded so neighbouring workers'
+/// bump cursors never share a line.
+class WorkerArenas {
+ public:
+  explicit WorkerArenas(int num_workers) {
+    MEMAGG_CHECK(num_workers >= 1);
+    slots_.reserve(static_cast<size_t>(num_workers));
+    for (int w = 0; w < num_workers; ++w) {
+      slots_.push_back(std::make_unique<PaddedArena>());
+    }
+  }
+
+  int num_workers() const { return static_cast<int>(slots_.size()); }
+
+  /// The arena for worker slot `worker` (a Morsel::worker index). The
+  /// returned arena is single-threaded: only that worker allocates from it
+  /// during a parallel loop.
+  Arena& ForWorker(int worker) {
+    MEMAGG_DCHECK(worker >= 0 && worker < num_workers());
+    return slots_[static_cast<size_t>(worker)]->arena;
+  }
+
+  /// Wholesale release of every worker arena. Only between queries, and
+  /// only once no structure holds nodes allocated from the pool.
+  void ResetAll() {
+    for (auto& slot : slots_) slot->arena.Reset();
+  }
+
+  /// Merged counters across all worker arenas.
+  AllocStats Stats() const {
+    AllocStats stats;
+    for (const auto& slot : slots_) stats.Merge(slot->arena.Stats());
+    return stats;
+  }
+
+ private:
+  struct alignas(64) PaddedArena {
+    Arena arena;
+  };
+
+  // unique_ptr slots because Arena is intentionally immovable.
+  std::vector<std::unique_ptr<PaddedArena>> slots_;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_MEM_WORKER_ARENAS_H_

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/arena.h"
 #include "util/cycle_timer.h"
 
 namespace memagg {
@@ -71,8 +72,14 @@ enum class StatCounter : size_t {
   kMergeRounds,        ///< Per-worker partials merged at iterate time.
   kMorselsClaimed,     ///< Morsels claimed across all parallel loops.
   kWorkersUsed,        ///< Distinct workers that claimed work (max-merged).
+  kArenaChunks,        ///< Arena chunks reserved (mem/arena.h).
+  kArenaBytesReserved, ///< Bytes of arena chunk capacity reserved.
+  kArenaBytesUsed,     ///< Bytes bump-allocated out of arenas.
+  kArenaBytesWasted,   ///< Stranded chunk tails + freed-in-place bytes.
+  kFreelistReuses,     ///< Allocations served from allocator freelists.
+  kRehashesSaved,      ///< Rehashes avoided by cardinality-driven Reserve().
 };
-inline constexpr size_t kNumStatCounters = 16;
+inline constexpr size_t kNumStatCounters = 22;
 
 /// Stable lowercase identifier (JSON key) for a phase / counter.
 const char* StatPhaseName(StatPhase phase);
@@ -130,6 +137,18 @@ struct QueryStats {
   /// {"phases":{"build":{"cycles":12,"millis":0.5}},"counters":{...}}.
   std::string ToJson() const;
 };
+
+/// Folds an allocator-stats snapshot (mem/arena.h) into the arena counters.
+/// Call once per allocator/arena at collection time; snapshots from the same
+/// arena must not be added twice (see ArenaAllocator::Stats() ownership rule).
+inline void AddAllocStats(QueryStats* stats, const AllocStats& alloc) {
+  if (!StatsConfig::kEnabled || stats == nullptr) return;
+  stats->Add(StatCounter::kArenaChunks, alloc.chunks);
+  stats->Add(StatCounter::kArenaBytesReserved, alloc.bytes_reserved);
+  stats->Add(StatCounter::kArenaBytesUsed, alloc.bytes_used);
+  stats->Add(StatCounter::kArenaBytesWasted, alloc.bytes_wasted);
+  stats->Add(StatCounter::kFreelistReuses, alloc.freelist_reuses);
+}
 
 /// Per-worker QueryStats shards. Shard `w` is written only by the worker
 /// occupying slot `w` of a parallel loop (slots never run concurrently for

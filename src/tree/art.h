@@ -17,20 +17,33 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <type_traits>
 #include <utility>
 
+#include "mem/allocator.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
 namespace memagg {
 
 /// Adaptive radix tree from uint64_t keys to Value. `Tracer` reports every
-/// node visited (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// node visited (see util/tracer.h). `Alloc` serves the five node sizes;
+/// the default arena allocator recycles outgrown inner nodes (Node4 →
+/// Node16 → Node48 → Node256 leaves the smaller shell on a freelist for
+/// the next split) and releases everything wholesale at destruction.
+template <typename Value, typename Tracer = NullTracer,
+          typename Alloc = ArenaAllocator>
 class ArtTree {
  public:
   ArtTree() = default;
-  ~ArtTree() { DestroySubtree(root_); }
+
+  ~ArtTree() {
+    // Wholesale-release fast path: the arena reclaims all nodes at once.
+    if constexpr (!(Alloc::kWholesaleRelease &&
+                    std::is_trivially_destructible_v<Value>)) {
+      DestroySubtree(root_);
+    }
+  }
 
   ArtTree(const ArtTree&) = delete;
   ArtTree& operator=(const ArtTree&) = delete;
@@ -89,6 +102,9 @@ class ArtTree {
 
   /// Approximate heap footprint in bytes (node structs only).
   size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Node-allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
 
   /// Node-population diagnostics, computed on demand. The adaptive node mix
   /// is ART's defining feature (and, per the paper's Section 5.3, the source
@@ -169,13 +185,13 @@ class ArtTree {
   template <typename T>
   T* NewNode() {
     memory_bytes_ += sizeof(T);
-    return new T();
+    return alloc_.template New<T>();
   }
 
   Leaf* NewLeaf(uint64_t key) {
     memory_bytes_ += sizeof(Leaf);
     ++size_;
-    return new Leaf(key);
+    return alloc_.template New<Leaf>(key);
   }
 
   static Node* const* FindChildSlot(const Inner* inner, uint8_t byte) {
@@ -312,19 +328,19 @@ class ArtTree {
     switch (inner->type) {
       case NodeType::kNode4:
         memory_bytes_ -= sizeof(Node4);
-        delete static_cast<Node4*>(inner);
+        alloc_.Delete(static_cast<Node4*>(inner));
         break;
       case NodeType::kNode16:
         memory_bytes_ -= sizeof(Node16);
-        delete static_cast<Node16*>(inner);
+        alloc_.Delete(static_cast<Node16*>(inner));
         break;
       case NodeType::kNode48:
         memory_bytes_ -= sizeof(Node48);
-        delete static_cast<Node48*>(inner);
+        alloc_.Delete(static_cast<Node48*>(inner));
         break;
       case NodeType::kNode256:
         memory_bytes_ -= sizeof(Node256);
-        delete static_cast<Node256*>(inner);
+        alloc_.Delete(static_cast<Node256*>(inner));
         break;
       default:
         MEMAGG_CHECK(false);
@@ -538,7 +554,7 @@ class ArtTree {
   void DestroySubtree(Node* node) {
     if (node == nullptr) return;
     if (node->type == NodeType::kLeaf) {
-      delete static_cast<Leaf*>(node);
+      alloc_.Delete(static_cast<Leaf*>(node));
       return;
     }
     Inner* inner = static_cast<Inner*>(node);
@@ -551,7 +567,12 @@ class ArtTree {
   Node* root_ = nullptr;
   size_t size_ = 0;
   size_t memory_bytes_ = 0;
+  Alloc alloc_;
 };
+
+/// Ablation alias: ART on global new/delete (label ART_Global).
+template <typename Value>
+using ArtTreeGlobalNew = ArtTree<Value, NullTracer, GlobalNewAllocator>;
 
 }  // namespace memagg
 

@@ -10,16 +10,21 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
+#include "mem/allocator.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
 namespace memagg {
 
 /// B+tree from uint64_t keys to Value. `Tracer` reports every node visited
-/// (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// (see util/tracer.h). `Alloc` serves the two node sizes (Leaf/Inner); the
+/// default arena allocator recycles split-away nodes through its size-class
+/// freelists and releases everything wholesale at destruction.
+template <typename Value, typename Tracer = NullTracer,
+          typename Alloc = ArenaAllocator>
 class BTree {
  public:
   /// Slots per node (STX sizes nodes to ~256 bytes of keys).
@@ -27,7 +32,14 @@ class BTree {
   static constexpr int kInnerSlots = 16;
 
   BTree() = default;
-  ~BTree() { DestroyNode(root_); }
+
+  ~BTree() {
+    // Wholesale-release fast path: the arena reclaims all nodes at once.
+    if constexpr (!(Alloc::kWholesaleRelease &&
+                    std::is_trivially_destructible_v<Value>)) {
+      DestroyNode(root_);
+    }
+  }
 
   BTree(const BTree&) = delete;
   BTree& operator=(const BTree&) = delete;
@@ -111,6 +123,9 @@ class BTree {
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Node-allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
 
   /// Shape diagnostics, computed on demand.
   struct TreeStats {
@@ -278,12 +293,12 @@ class BTree {
 
   Leaf* NewLeaf() {
     memory_bytes_ += sizeof(Leaf);
-    return new Leaf();
+    return alloc_.template New<Leaf>();
   }
 
   Inner* NewInner() {
     memory_bytes_ += sizeof(Inner);
-    return new Inner();
+    return alloc_.template New<Inner>();
   }
 
   static size_t CountInner(const Node* node) {
@@ -299,18 +314,19 @@ class BTree {
   void DestroyNode(Node* node) {
     if (node == nullptr) return;
     if (node->is_leaf) {
-      delete static_cast<Leaf*>(node);
+      alloc_.Delete(static_cast<Leaf*>(node));
       return;
     }
     Inner* inner = static_cast<Inner*>(node);
     for (int i = 0; i <= inner->count; ++i) DestroyNode(inner->children[i]);
-    delete inner;
+    alloc_.Delete(inner);
   }
 
   Node* root_ = nullptr;
   Leaf* first_leaf_ = nullptr;
   size_t size_ = 0;
   size_t memory_bytes_ = 0;
+  Alloc alloc_;
 };
 
 }  // namespace memagg

@@ -21,20 +21,34 @@
 #include <cstdint>
 #include <cstring>
 #include <new>
+#include <type_traits>
 #include <utility>
 
+#include "mem/allocator.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
 namespace memagg {
 
 /// Judy-style radix tree from uint64_t keys to Value. `Tracer` reports every
-/// node and packed-array access (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// node and packed-array access (see util/tracer.h). `Alloc` serves both the
+/// node structs and the exact-fit packed arrays, whose constant reallocation
+/// makes Judy the most allocator-bound structure in the repo — the default
+/// arena allocator recycles the retired arrays through size-class freelists.
+template <typename Value, typename Tracer = NullTracer,
+          typename Alloc = ArenaAllocator>
 class JudyArray {
  public:
   JudyArray() = default;
-  ~JudyArray() { DestroyNode(root_); }
+
+  ~JudyArray() {
+    // Wholesale-release fast path: the arena reclaims nodes and packed
+    // arrays at once; only non-trivial packed values need destructor runs.
+    if constexpr (!(Alloc::kWholesaleRelease &&
+                    std::is_trivially_destructible_v<Value>)) {
+      DestroyNode(root_);
+    }
+  }
 
   JudyArray(const JudyArray&) = delete;
   JudyArray& operator=(const JudyArray&) = delete;
@@ -114,6 +128,9 @@ class JudyArray {
 
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const { return memory_bytes_; }
+
+  /// Node-allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
 
   /// Node-population diagnostics, computed on demand; shows how much of the
   /// structure uses linear vs bitmap compression and how many key bytes the
@@ -342,8 +359,8 @@ class JudyArray {
     const int rank = leaf->Rank(byte);
     if (leaf->Test(byte)) return leaf->values[rank];
     const int count = leaf->bitmap.Count();
-    Value* grown =
-        static_cast<Value*>(::operator new(sizeof(Value) * (count + 1)));
+    Value* grown = static_cast<Value*>(
+        alloc_.AllocateBytes(sizeof(Value) * (count + 1), alignof(Value)));
     for (int i = 0; i < rank; ++i) {
       new (&grown[i]) Value(std::move(leaf->values[i]));
     }
@@ -352,7 +369,9 @@ class JudyArray {
       new (&grown[i + 1]) Value(std::move(leaf->values[i]));
     }
     for (int i = 0; i < count; ++i) leaf->values[i].~Value();
-    ::operator delete(leaf->values);
+    if (leaf->values != nullptr) {
+      alloc_.DeallocateBytes(leaf->values, sizeof(Value) * count);
+    }
     leaf->values = grown;
     leaf->bitmap.Set(byte);
     ++size_;
@@ -428,32 +447,33 @@ class JudyArray {
 
   LeafBitmap* NewLeaf() {
     memory_bytes_ += sizeof(LeafBitmap);
-    return new LeafBitmap();
+    return alloc_.template New<LeafBitmap>();
   }
 
   BranchLinear* NewBranchLinear() {
     memory_bytes_ += sizeof(BranchLinear);
-    return new BranchLinear();
+    return alloc_.template New<BranchLinear>();
   }
 
   BranchBitmap* NewBranchBitmap() {
     memory_bytes_ += sizeof(BranchBitmap);
-    return new BranchBitmap();
+    return alloc_.template New<BranchBitmap>();
   }
 
   void FreeBranchLinear(BranchLinear* n) {
     memory_bytes_ -= sizeof(BranchLinear);
-    delete n;
+    alloc_.Delete(n);
   }
 
   Node** AllocChildren(int count) {
     memory_bytes_ += sizeof(Node*) * static_cast<size_t>(count);
-    return static_cast<Node**>(::operator new(sizeof(Node*) * count));
+    return static_cast<Node**>(
+        alloc_.AllocateBytes(sizeof(Node*) * count, alignof(Node*)));
   }
 
   void FreeChildren(Node** children, int count) {
     memory_bytes_ -= sizeof(Node*) * static_cast<size_t>(count);
-    ::operator delete(children);
+    alloc_.DeallocateBytes(children, sizeof(Node*) * count);
   }
 
   static void CollectNodeStats(const Node* node, NodeStats& stats) {
@@ -489,23 +509,27 @@ class JudyArray {
       case NodeType::kBranchLinear: {
         BranchLinear* n = static_cast<BranchLinear*>(node);
         for (int i = 0; i < n->count; ++i) DestroyNode(n->children[i]);
-        delete n;
+        alloc_.Delete(n);
         return;
       }
       case NodeType::kBranchBitmap: {
         BranchBitmap* n = static_cast<BranchBitmap*>(node);
         const int count = n->bitmap.Count();
         for (int i = 0; i < count; ++i) DestroyNode(n->children[i]);
-        ::operator delete(n->children);
-        delete n;
+        if (n->children != nullptr) {
+          alloc_.DeallocateBytes(n->children, sizeof(Node*) * count);
+        }
+        alloc_.Delete(n);
         return;
       }
       case NodeType::kLeafBitmap: {
         LeafBitmap* n = static_cast<LeafBitmap*>(node);
         const int count = n->bitmap.Count();
         for (int i = 0; i < count; ++i) n->values[i].~Value();
-        ::operator delete(n->values);
-        delete n;
+        if (n->values != nullptr) {
+          alloc_.DeallocateBytes(n->values, sizeof(Value) * count);
+        }
+        alloc_.Delete(n);
         return;
       }
     }
@@ -514,6 +538,7 @@ class JudyArray {
   Node* root_ = nullptr;
   size_t size_ = 0;
   size_t memory_bytes_ = 0;
+  Alloc alloc_;
 };
 
 }  // namespace memagg

@@ -12,23 +12,49 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 
+#include "mem/allocator.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
 namespace memagg {
 
 /// T-tree from uint64_t keys to Value. `Tracer` reports every node visited
-/// (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+/// (see util/tracer.h). `AllocPolicy` selects the node allocator;
+/// `void` resolves to PoolAllocator<Node> (the node type is private, so the
+/// default is spelled through this indirection).
+template <typename Value, typename Tracer = NullTracer,
+          typename AllocPolicy = void>
 class TTree {
  public:
   /// Entries per node (Lehman & Carey found moderate node sizes best).
   static constexpr int kNodeCapacity = 32;
 
+ private:
+  struct Node {
+    uint64_t keys[kNodeCapacity];
+    Value values[kNodeCapacity];
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int count = 0;
+    int height = 1;
+  };
+
+ public:
+  using Alloc = std::conditional_t<std::is_void_v<AllocPolicy>,
+                                   PoolAllocator<Node>, AllocPolicy>;
+
   TTree() = default;
-  ~TTree() { DestroyNode(root_); }
+
+  ~TTree() {
+    // Wholesale-release fast path: the arena reclaims all nodes at once.
+    if constexpr (!(Alloc::kWholesaleRelease &&
+                    std::is_trivially_destructible_v<Value>)) {
+      DestroyNode(root_);
+    }
+  }
 
   TTree(const TTree&) = delete;
   TTree& operator=(const TTree&) = delete;
@@ -82,6 +108,9 @@ class TTree {
   /// Approximate heap footprint in bytes.
   size_t MemoryBytes() const { return num_nodes_ * sizeof(Node); }
 
+  /// Node-allocator counters (see mem/arena.h).
+  AllocStats AllocatorStats() const { return alloc_.Stats(); }
+
   /// Shape diagnostics, computed on demand. AVL balance keeps
   /// height <= ~1.44 log2(num_nodes).
   struct TreeStats {
@@ -103,15 +132,6 @@ class TTree {
   }
 
  private:
-  struct Node {
-    uint64_t keys[kNodeCapacity];
-    Value values[kNodeCapacity];
-    Node* left = nullptr;
-    Node* right = nullptr;
-    int count = 0;
-    int height = 1;
-  };
-
   static int LowerBound(const Node* node, uint64_t key) {
     return static_cast<int>(
         std::lower_bound(node->keys, node->keys + node->count, key) -
@@ -163,7 +183,7 @@ class TTree {
   }
 
   Node* NewNode(uint64_t key, Value** result) {
-    Node* node = new Node();
+    Node* node = alloc_.template New<Node>();
     node->keys[0] = key;
     node->values[0] = Value{};
     node->count = 1;
@@ -255,12 +275,13 @@ class TTree {
     if (node == nullptr) return;
     DestroyNode(node->left);
     DestroyNode(node->right);
-    delete node;
+    alloc_.Delete(node);
   }
 
   Node* root_ = nullptr;
   size_t size_ = 0;
   size_t num_nodes_ = 0;
+  Alloc alloc_;
 };
 
 }  // namespace memagg

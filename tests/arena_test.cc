@@ -1,0 +1,190 @@
+// Lifetime and accounting tests for the arena-backed memory layer
+// (src/mem/): chunked bump Arena, ArenaAllocator size-class freelists,
+// PoolAllocator node recycling, and per-worker arena isolation under the
+// morsel executor. Runs under the ASan leak-check job like every other
+// test, so wholesale release paths double as leak regression tests.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <vector>
+
+#include "exec/executor.h"
+#include "hash/chaining_map.h"
+#include "mem/allocator.h"
+#include "mem/arena.h"
+#include "mem/worker_arenas.h"
+#include "tree/art.h"
+
+namespace memagg {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  std::vector<std::pair<char*, size_t>> blocks;
+  for (size_t bytes : {1u, 7u, 8u, 24u, 100u, 4000u, 70000u}) {
+    void* p = arena.Allocate(bytes, 16);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 16, 0u);
+    std::memset(p, 0xAB, bytes);  // ASan catches any overlap/overflow.
+    blocks.push_back({static_cast<char*>(p), bytes});
+  }
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    for (size_t j = i + 1; j < blocks.size(); ++j) {
+      const bool disjoint = blocks[i].first + blocks[i].second <=
+                                blocks[j].first ||
+                            blocks[j].first + blocks[j].second <=
+                                blocks[i].first;
+      EXPECT_TRUE(disjoint) << "blocks " << i << " and " << j << " overlap";
+    }
+  }
+  EXPECT_GE(arena.bytes_used(), 1u + 7 + 8 + 24 + 100 + 4000 + 70000);
+  EXPECT_GE(arena.bytes_reserved(), arena.bytes_used());
+}
+
+TEST(ArenaTest, ChunksGrowGeometricallyAndOversizedRequestsFit) {
+  Arena arena;
+  // Force several chunk boundaries.
+  for (int i = 0; i < 1000; ++i) arena.Allocate(1024, 8);
+  const AllocStats stats = arena.Stats();
+  EXPECT_GT(stats.chunks, 1u);
+  EXPECT_GE(stats.bytes_reserved, stats.bytes_used);
+  // A request larger than the max chunk size still succeeds (exact-fit).
+  void* big = arena.Allocate(4u << 20, 8);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0, 4u << 20);
+}
+
+TEST(ArenaTest, ResetReusesMemoryAcrossQueries) {
+  Arena arena;
+  for (int i = 0; i < 100; ++i) arena.Allocate(512, 8);
+  const uint64_t reserved_before = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // The newest chunk is retained, so a same-shaped second query allocates
+  // from memory already reserved.
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved_before);
+  const uint64_t retained = arena.bytes_reserved();
+  void* p = arena.Allocate(512, 8);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.bytes_reserved(), retained);  // No new chunk needed.
+  EXPECT_EQ(arena.resets(), 1u);
+}
+
+TEST(ArenaAllocatorTest, FreelistRecyclesSameSizeClass) {
+  ArenaAllocator alloc;
+  void* a = alloc.AllocateBytes(64, 8);
+  alloc.DeallocateBytes(a, 64);
+  void* b = alloc.AllocateBytes(64, 8);
+  EXPECT_EQ(a, b);  // Same size class -> block comes back off the freelist.
+  EXPECT_EQ(alloc.Stats().freelist_reuses, 1u);
+}
+
+// A value type that counts destructor runs, for exactly-once semantics.
+struct DtorCounter {
+  static int destroyed;
+  std::vector<uint64_t> payload{1, 2, 3};  // Non-trivially destructible.
+  ~DtorCounter() { ++destroyed; }
+};
+int DtorCounter::destroyed = 0;
+
+TEST(ArenaAllocatorTest, NonTrivialValueDestroyedExactlyOnce) {
+  DtorCounter::destroyed = 0;
+  {
+    ChainingMap<DtorCounter> map(16);
+    map.GetOrInsert(1);
+    map.GetOrInsert(2);
+    map.GetOrInsert(1);  // Existing group: no new value.
+    EXPECT_EQ(map.size(), 2u);
+  }
+  // The map's destructor must run each Value destructor exactly once even
+  // though the node memory itself is released wholesale by the arena.
+  EXPECT_EQ(DtorCounter::destroyed, 2);
+}
+
+TEST(ArenaAllocatorTest, TrivialValuesSkipDestructorWalkAndDoNotLeak) {
+  // With a trivially-destructible value the destructor does no node walk at
+  // all; ASan verifies the arena still releases every chunk.
+  ChainingMap<uint64_t> map(4);  // Undersized: forces growth + many nodes.
+  for (uint64_t k = 0; k < 10000; ++k) map.GetOrInsert(k) = k;
+  EXPECT_EQ(map.size(), 10000u);
+  const AllocStats stats = map.AllocatorStats();
+  EXPECT_GT(stats.chunks, 0u);
+  EXPECT_GT(stats.bytes_used, 0u);
+}
+
+TEST(ArenaAllocatorTest, GlobalNewAblationBehavesIdentically) {
+  ChainingMap<uint64_t> arena_map(64);
+  ChainingMapGlobalNew<uint64_t> global_map(64);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    arena_map.GetOrInsert(k % 977) += 1;
+    global_map.GetOrInsert(k % 977) += 1;
+  }
+  EXPECT_EQ(arena_map.size(), global_map.size());
+  arena_map.ForEach([&global_map](uint64_t key, const uint64_t& value) {
+    const uint64_t* other = global_map.Find(key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(*other, value);
+  });
+  // The ablation allocator reports no arena activity.
+  EXPECT_EQ(global_map.AllocatorStats().chunks, 0u);
+  EXPECT_GT(arena_map.AllocatorStats().chunks, 0u);
+}
+
+TEST(ArtTreeArenaTest, TreeNodesLiveInArena) {
+  ArtTree<uint64_t> tree;
+  for (uint64_t k = 0; k < 4096; ++k) tree.GetOrInsert(k * 7919) = k;
+  EXPECT_EQ(tree.size(), 4096u);
+  const AllocStats stats = tree.AllocatorStats();
+  EXPECT_GT(stats.chunks, 0u);
+  EXPECT_GT(stats.bytes_used, 0u);
+}
+
+TEST(WorkerArenasTest, WorkersAllocateIsolatedUnderParallelFor) {
+  constexpr int kWorkers = 4;
+  WorkerArenas arenas(kWorkers);
+  ExecutionContext ctx(kWorkers);
+  ctx.arenas = &arenas;
+  // Each worker bump-allocates from its own arena; blocks from different
+  // workers must never alias even though allocations race in time.
+  std::vector<std::set<void*>> blocks(kWorkers);
+  Executor(ctx).ParallelFor(
+      4096,
+      [&](const Morsel& m) {
+        for (size_t i = m.begin; i < m.end; ++i) {
+          blocks[m.worker].insert(arenas.ForWorker(m.worker).Allocate(32, 8));
+        }
+      },
+      /*grain=*/64);
+  std::set<void*> all;
+  size_t total = 0;
+  for (const auto& worker_blocks : blocks) {
+    total += worker_blocks.size();
+    all.insert(worker_blocks.begin(), worker_blocks.end());
+  }
+  EXPECT_EQ(total, 4096u);
+  EXPECT_EQ(all.size(), total) << "arenas handed out an aliased block";
+  EXPECT_GE(arenas.Stats().bytes_used, 4096u * 32);
+  // Wholesale reuse across queries: one Reset rewinds every worker arena.
+  arenas.ResetAll();
+  EXPECT_EQ(arenas.Stats().bytes_used, 0u);
+}
+
+TEST(PoolAllocatorTest, DeletedNodesAreRecycled) {
+  struct Node {
+    uint64_t key;
+    Node* next;
+  };
+  PoolAllocator<Node> pool;
+  Node* a = pool.New(Node{1, nullptr});
+  pool.Delete(a);
+  Node* b = pool.New(Node{2, nullptr});
+  EXPECT_EQ(static_cast<void*>(a), static_cast<void*>(b));
+  EXPECT_EQ(pool.Stats().freelist_reuses, 1u);
+}
+
+}  // namespace
+}  // namespace memagg

@@ -20,9 +20,12 @@ constexpr int kThreads = 8;
 constexpr int kOpsPerThread = 50000;
 
 TEST(ConcurrentChainingMapTest, SingleThreadedBasics) {
+  // Allocator handles are declared before the map: nodes live in a handle's
+  // arena, so the map (and its node pointers) must be destroyed first.
+  ConcurrentChainingMap<uint64_t>::Alloc alloc;
   ConcurrentChainingMap<uint64_t> map(64);
-  map.GetOrInsert(1) = 10;
-  map.GetOrInsert(2) = 20;
+  map.GetOrInsert(1, alloc) = 10;
+  map.GetOrInsert(2, alloc) = 20;
   EXPECT_EQ(map.size(), 2u);
   ASSERT_NE(map.Find(1), nullptr);
   EXPECT_EQ(*map.Find(1), 10u);
@@ -33,13 +36,15 @@ TEST(ConcurrentChainingMapTest, ConcurrentCountsAreExact) {
   // All threads increment atomic counters for a shared key range; totals
   // must be exact (no lost inserts, no duplicate nodes).
   constexpr uint64_t kKeyRange = 512;
-  ConcurrentChainingMap<std::atomic<uint64_t>> map(kKeyRange);
+  using Map = ConcurrentChainingMap<std::atomic<uint64_t>>;
+  std::vector<Map::Alloc> allocs(kThreads);  // One arena-backed pool each.
+  Map map(kKeyRange);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&map, t] {
+    threads.emplace_back([&map, &allocs, t] {
       Rng rng(100 + t);
       for (int i = 0; i < kOpsPerThread; ++i) {
-        map.GetOrInsert(rng.NextBounded(kKeyRange))
+        map.GetOrInsert(rng.NextBounded(kKeyRange), allocs[t])
             .fetch_add(1, std::memory_order_relaxed);
       }
     });
@@ -56,12 +61,14 @@ TEST(ConcurrentChainingMapTest, ConcurrentCountsAreExact) {
 TEST(ConcurrentChainingMapTest, InsertRaceOnSameKeyYieldsOneNode) {
   // Hammer a single key from all threads: the CAS insert must converge on
   // exactly one node.
-  ConcurrentChainingMap<std::atomic<uint64_t>> map(16);
+  using Map = ConcurrentChainingMap<std::atomic<uint64_t>>;
+  std::vector<Map::Alloc> allocs(kThreads);
+  Map map(16);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&map] {
+    threads.emplace_back([&map, &allocs, t] {
       for (int i = 0; i < kOpsPerThread; ++i) {
-        map.GetOrInsert(7).fetch_add(1, std::memory_order_relaxed);
+        map.GetOrInsert(7, allocs[t]).fetch_add(1, std::memory_order_relaxed);
       }
     });
   }
@@ -72,12 +79,15 @@ TEST(ConcurrentChainingMapTest, InsertRaceOnSameKeyYieldsOneNode) {
 
 TEST(ConcurrentChainingMapTest, UndersizedBucketsStillCorrect) {
   // Chains much longer than one entry.
-  ConcurrentChainingMap<std::atomic<uint64_t>> map(4);
+  using Map = ConcurrentChainingMap<std::atomic<uint64_t>>;
+  std::vector<Map::Alloc> allocs(4);
+  Map map(4);
   std::vector<std::thread> threads;
   for (int t = 0; t < 4; ++t) {
-    threads.emplace_back([&map, t] {
+    threads.emplace_back([&map, &allocs, t] {
       for (uint64_t k = 0; k < 1000; ++k) {
-        map.GetOrInsert(k * 4 + t).fetch_add(1, std::memory_order_relaxed);
+        map.GetOrInsert(k * 4 + t, allocs[t])
+            .fetch_add(1, std::memory_order_relaxed);
       }
     });
   }

@@ -26,6 +26,12 @@ the repo-specific discipline that neither can express:
   include-guard        headers under src/ use include guards derived from
                        their path: src/hash/cuckoo_map.h guards with
                        MEMAGG_HASH_CUCKOO_MAP_H_.
+  raw-node-alloc       node-based structures (src/hash/, src/tree/) must
+                       allocate nodes through their Alloc policy
+                       (mem/allocator.h), never raw new/delete or
+                       ::operator new/delete — otherwise the arena ablation
+                       silently measures the wrong allocator. Placement new
+                       and `= delete`d members are fine.
 
 Waivers: append `// lint:allow(rule-name): reason` to the offending line or
 the line directly above it. The reason is mandatory by convention — a waiver
@@ -197,6 +203,40 @@ def check_unguarded_global(relpath, stripped):
         )
 
 
+# Allocating `new` (not placement `new (addr)`) and any `delete` that is not
+# an `= delete`d member. ::operator new/delete is matched separately because
+# `operator new(bytes)` looks like placement syntax to the first regex.
+RAW_NEW_RE = re.compile(r"(?<![\w:])new\b(?!\s*\()")
+RAW_DELETE_RE = re.compile(r"(?<![\w:])delete\b")
+RAW_OPERATOR_ALLOC_RE = re.compile(r"\boperator\s+(?:new|delete)\b")
+
+NODE_STRUCTURE_PREFIXES = ("src/hash/", "src/tree/")
+
+
+def check_raw_node_alloc(relpath, stripped):
+    if not str(relpath).startswith(NODE_STRUCTURE_PREFIXES):
+        return
+    message = (
+        "raw new/delete in a node-based structure — allocate through the "
+        "Alloc policy (mem/allocator.h) so the arena ablation stays honest"
+    )
+    for match in RAW_NEW_RE.finditer(stripped):
+        before = stripped[: match.start()].rstrip()
+        if before.endswith("operator"):
+            continue  # Reported by RAW_OPERATOR_ALLOC_RE below.
+        line_start = stripped.rfind("\n", 0, match.start()) + 1
+        if stripped[line_start:match.start()].lstrip().startswith("#"):
+            continue  # `#include <new>` and friends.
+        yield (line_of(stripped, match.start()), "raw-node-alloc", message)
+    for match in RAW_DELETE_RE.finditer(stripped):
+        before = stripped[: match.start()].rstrip()
+        if before.endswith("=") or before.endswith("operator"):
+            continue  # `= delete`d member / reported below.
+        yield (line_of(stripped, match.start()), "raw-node-alloc", message)
+    for match in RAW_OPERATOR_ALLOC_RE.finditer(stripped):
+        yield (line_of(stripped, match.start()), "raw-node-alloc", message)
+
+
 def expected_guard(relpath):
     tail = Path(*relpath.parts[1:])  # drop leading src/
     token = re.sub(r"[^A-Za-z0-9]", "_", str(tail)).upper()
@@ -233,6 +273,7 @@ RULES = (
     (LIBRARY_DIRS, check_stats_in_morsel_body),
     (LIBRARY_DIRS, check_unguarded_global),
     (LIBRARY_DIRS, check_include_guard),
+    (LIBRARY_DIRS, check_raw_node_alloc),
 )
 
 
@@ -308,6 +349,23 @@ FIXTURES = [
         "std::atomic<Widget*> g_widget{nullptr};\n"
         "constexpr int g_limit = 3;\n"
         "void f() { local::g_widget = nullptr; }\n",
+    ),
+    (
+        "raw-node-alloc",
+        "src/hash/widget.h",
+        "void f() { Node* n = new Node(); use(n); }\n",
+        "struct W {\n"
+        "  W(const W&) = delete;\n"
+        "  W& operator=(const W&) = delete;\n"
+        "  void f(void* mem) { ::new (mem) Node(); }\n"
+        "  void g() { auto p = std::make_unique<Node>(); new_count_++; }\n"
+        "};\n",
+    ),
+    (
+        "raw-node-alloc",
+        "src/core/widget.cc",  # only node-based structure dirs are scanned
+        "",
+        "void f() { Node* n = new Node(); delete n; }\n",
     ),
     (
         "include-guard",

@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include "core/advisor.h"
+#include "core/concepts.h"
 #include "core/hash_aggregator.h"
 #include "core/hybrid_aggregator.h"
 #include "core/local_partition_aggregator.h"
@@ -15,7 +16,7 @@
 #include "hash/cuckoo_map.h"
 #include "hash/dense_map.h"
 #include "hash/linear_probing_map.h"
-#include "hash/ordered_mph.h"
+#include "core/mph_aggregator.h"
 #include "hash/sparse_map.h"
 #include "mem/worker_arenas.h"
 #include "tree/art.h"
@@ -27,7 +28,7 @@
 namespace memagg {
 namespace {
 
-template <typename Aggregate>
+template <MergeableAggregatePolicy Aggregate>
 std::unique_ptr<VectorAggregator> MakeForAggregate(
     const std::string& label, size_t expected_size,
     const ExecutionContext& exec) {

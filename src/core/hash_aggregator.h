@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
@@ -21,8 +22,10 @@ namespace memagg {
 /// Vector aggregation over any memagg hash map. `MapT` is the map template
 /// (LinearProbingMap, ChainingMap, SparseMap, DenseMap, CuckooMap,
 /// ConcurrentChainingMap); `Aggregate` is an aggregate policy from
-/// core/aggregate.h.
-template <template <typename> class MapT, typename Aggregate>
+/// core/aggregate.h. The map instantiated at the aggregate's State type
+/// must model GroupMap (core/concepts.h).
+template <template <typename> class MapT, AggregatePolicy Aggregate>
+  requires GroupMap<MapT<typename Aggregate::State>, typename Aggregate::State>
 class HashVectorAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
@@ -33,9 +36,8 @@ class HashVectorAggregator final : public VectorAggregator {
   explicit HashVectorAggregator(size_t expected_size) : map_(expected_size) {}
 
   void ReserveGroups(size_t expected_groups) override {
-    if constexpr (requires { map_.Reserve(expected_groups); }) {
-      map_.Reserve(expected_groups);
-    }
+    // GroupMap guarantees Reserve, so no feature probe is needed.
+    map_.Reserve(expected_groups);
   }
 
   void Build(const uint64_t* keys, const uint64_t* values,

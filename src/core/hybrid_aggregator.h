@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -38,8 +39,9 @@
 
 namespace memagg {
 
-/// Adaptive hybrid aggregation operator.
-template <typename Aggregate>
+/// Adaptive hybrid aggregation operator. The flush-to-sort path combines
+/// partial states, so the aggregate must be mergeable.
+template <MergeableAggregatePolicy Aggregate>
 class HybridVectorAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;

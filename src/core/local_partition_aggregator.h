@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -32,8 +33,9 @@
 
 namespace memagg {
 
-/// Independent worker-local tables, merged at iterate time.
-template <typename Aggregate>
+/// Independent worker-local tables, merged at iterate time — which is why
+/// the aggregate must be mergeable.
+template <MergeableAggregatePolicy Aggregate>
 class LocalPartitionAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -166,7 +167,7 @@ struct ConcurrentModeAggregate {
 };
 
 /// Maps a serial aggregate policy to its Hash_TBBSC concurrent counterpart.
-template <typename Aggregate>
+template <AggregatePolicy Aggregate>
 struct ConcurrentAggregateFor;
 template <>
 struct ConcurrentAggregateFor<CountAggregate> {
@@ -202,11 +203,12 @@ struct ConcurrentAggregateFor<ModeAggregate> {
 /// allocated from the claiming worker's arena (one pool handle per worker
 /// slot), so the parallel build never touches the global heap: workers that
 /// lose an insert race recycle the node through their own freelist.
-template <typename ConcurrentAggregate>
+template <AggregatePolicy ConcurrentAggregate>
 class TbbStyleParallelAggregator final : public VectorAggregator {
  public:
   using State = typename ConcurrentAggregate::State;
   using NodeAlloc = typename ConcurrentChainingMap<State>::Alloc;
+  static_assert(ConcurrentGroupMap<ConcurrentChainingMap<State>, State>);
 
   /// Borrows the context's per-worker arenas when they cover the thread
   /// budget; otherwise owns a private pool so direct construction (tests,
@@ -275,10 +277,11 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
 /// Hash_LC-style parallel aggregation: updates run inside CuckooMap::Upsert
 /// under the table's bucket locks, so plain (non-atomic) aggregate policies
 /// from core/aggregate.h are used directly.
-template <typename Aggregate>
+template <AggregatePolicy Aggregate>
 class CuckooParallelAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
+  static_assert(ConcurrentGroupMap<CuckooMap<State>, State>);
 
   CuckooParallelAggregator(size_t expected_size, ExecutionContext exec)
       : map_(expected_size), exec_(exec) {}
@@ -320,10 +323,12 @@ class CuckooParallelAggregator final : public VectorAggregator {
 /// Hash_Striped-style parallel aggregation: lock-striped serial
 /// linear-probing maps (see hash/striped_map.h). Updates run under the
 /// stripe lock, so plain aggregate policies work unchanged.
-template <typename Aggregate>
+template <AggregatePolicy Aggregate>
 class StripedParallelAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;
+  static_assert(
+      ConcurrentGroupMap<StripedMap<LinearProbingMap<State>>, State>);
 
   StripedParallelAggregator(size_t expected_size, ExecutionContext exec)
       : map_(expected_size), exec_(exec) {}

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -35,8 +36,10 @@
 
 namespace memagg {
 
-/// Partition-then-aggregate parallel operator.
-template <typename Aggregate>
+/// Partition-then-aggregate parallel operator. Radix partitions are
+/// disjoint, so no state merging happens and any aggregate policy works
+/// (the paper's route to parallel holistic aggregation).
+template <AggregatePolicy Aggregate>
 class RadixPartitionAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "sort/sort_common.h"
 #include "util/macros.h"
@@ -53,10 +54,10 @@ class StreamingAverageAggregator final : public ScalarAggregator {
 };
 
 /// Q6 via sorting: sort a copy of the key column, read the middle.
-template <typename Sorter>
+template <Sorter SorterT>
 class SortScalarMedianAggregator final : public ScalarAggregator {
  public:
-  explicit SortScalarMedianAggregator(Sorter sorter = Sorter{})
+  explicit SortScalarMedianAggregator(SorterT sorter = SorterT{})
       : sorter_(sorter) {}
 
   void Build(const uint64_t* keys, const uint64_t* /*values*/,
@@ -76,13 +77,14 @@ class SortScalarMedianAggregator final : public ScalarAggregator {
   }
 
  private:
-  Sorter sorter_;
+  SorterT sorter_;
   std::vector<uint64_t> keys_;
 };
 
 /// Q6 via a tree index: build key -> multiplicity, then walk the sorted
 /// groups accumulating counts until the middle rank(s).
 template <template <typename> class TreeT>
+  requires OrderedGroupStore<TreeT<uint64_t>, uint64_t>
 class TreeScalarMedianAggregator final : public ScalarAggregator {
  public:
   void Build(const uint64_t* keys, const uint64_t* /*values*/,

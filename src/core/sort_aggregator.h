@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
@@ -25,14 +26,16 @@
 
 namespace memagg {
 
-/// Vector aggregation via sorting. `Sorter` is a functor from
-/// core/sorters.h; `Aggregate` is an aggregate policy. `Tracer` reports the
-/// operator's scratch-array accesses (the sort kernel itself is traced by
-/// wrapping the sorter's KeyOf — see sim/traced_engine.h).
-template <typename Sorter, typename Aggregate, typename Tracer = NullTracer>
+/// Vector aggregation via sorting. `SorterT` is a functor from
+/// core/sorters.h modeling the Sorter concept; `Aggregate` is an aggregate
+/// policy. `Tracer` reports the operator's scratch-array accesses (the sort
+/// kernel itself is traced by wrapping the sorter's KeyOf — see
+/// sim/traced_engine.h).
+template <Sorter SorterT, AggregatePolicy Aggregate,
+          MemoryTracer Tracer = NullTracer>
 class SortVectorAggregator final : public VectorAggregator {
  public:
-  explicit SortVectorAggregator(Sorter sorter = Sorter{})
+  explicit SortVectorAggregator(SorterT sorter = SorterT{})
       : sorter_(std::move(sorter)) {}
 
   void Build(const uint64_t* keys, const uint64_t* values,
@@ -184,7 +187,7 @@ class SortVectorAggregator final : public VectorAggregator {
     }
   }
 
-  Sorter sorter_;
+  SorterT sorter_;
   std::vector<uint64_t> keys_;
   std::vector<std::pair<uint64_t, uint64_t>> records_;
   std::vector<uint64_t> run_values_;  // Scratch for holistic runs.

@@ -6,6 +6,7 @@
 #ifndef MEMAGG_CORE_SORTERS_H_
 #define MEMAGG_CORE_SORTERS_H_
 
+#include "core/concepts.h"
 #include "sort/block_indirect_sort.h"
 #include "sort/introsort.h"
 #include "sort/parallel_quicksort.h"
@@ -20,7 +21,7 @@ namespace memagg {
 
 /// Quicksort (paper: "Quicksort").
 struct QuicksortSorter {
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     QuickSort(first, last, KeyLess<KeyOf>{key_of});
   }
@@ -28,7 +29,7 @@ struct QuicksortSorter {
 
 /// Introsort, the GCC std::sort strategy (paper: "Introsort").
 struct IntrosortSorter {
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     IntroSort(first, last, KeyLess<KeyOf>{key_of});
   }
@@ -36,7 +37,7 @@ struct IntrosortSorter {
 
 /// Most-significant-bit radix sort (paper: "MSB Radix Sort").
 struct MsbRadixSorter {
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     MsbRadixSort(first, last, key_of);
   }
@@ -44,7 +45,7 @@ struct MsbRadixSorter {
 
 /// Least-significant-bit radix sort (paper: "LSB Radix Sort").
 struct LsbRadixSorter {
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     LsbRadixSort(first, last, key_of);
   }
@@ -52,7 +53,7 @@ struct LsbRadixSorter {
 
 /// Boost-style hybrid radix/comparison sort (paper: "Spreadsort").
 struct SpreadsortSorter {
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     SpreadSort(first, last, key_of);
   }
@@ -61,7 +62,7 @@ struct SpreadsortSorter {
 /// Parallel quicksort with load balancing (paper: "Sort_QSLB").
 struct ParallelQuicksortSorter {
   int num_threads = 1;
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     ParallelQuickSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
   }
@@ -70,7 +71,7 @@ struct ParallelQuicksortSorter {
 /// Parallel sort-then-merge (paper: "Sort_BI").
 struct BlockIndirectSorter {
   int num_threads = 1;
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     BlockIndirectSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
   }
@@ -79,7 +80,7 @@ struct BlockIndirectSorter {
 /// Parallel samplesort (paper: "Sort_SS").
 struct SamplesortSorter {
   int num_threads = 1;
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     SampleSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
   }
@@ -88,11 +89,23 @@ struct SamplesortSorter {
 /// Task-pool quicksort (paper: "Sort_TBB").
 struct TaskQuicksortSorter {
   int num_threads = 1;
-  template <typename T, typename KeyOf>
+  template <SortableRecord T, KeyExtractor<T> KeyOf>
   void operator()(T* first, T* last, KeyOf key_of) const {
     TaskQuickSort(first, last, KeyLess<KeyOf>{key_of}, num_threads);
   }
 };
+
+// Every functor above models Sorter; the thread-budgeted ones also model
+// ParallelSorter (core/concepts.h).
+static_assert(Sorter<QuicksortSorter>);
+static_assert(Sorter<IntrosortSorter>);
+static_assert(Sorter<MsbRadixSorter>);
+static_assert(Sorter<LsbRadixSorter>);
+static_assert(Sorter<SpreadsortSorter>);
+static_assert(ParallelSorter<ParallelQuicksortSorter>);
+static_assert(ParallelSorter<BlockIndirectSorter>);
+static_assert(ParallelSorter<SamplesortSorter>);
+static_assert(ParallelSorter<TaskQuicksortSorter>);
 
 }  // namespace memagg
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "core/aggregate.h"
+#include "core/concepts.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
@@ -20,8 +21,11 @@ namespace memagg {
 
 /// Vector aggregation over any memagg tree index. `TreeT` is the tree
 /// template (ArtTree, JudyArray, BTree, TTree); `Aggregate` is an aggregate
-/// policy from core/aggregate.h.
-template <template <typename> class TreeT, typename Aggregate>
+/// policy from core/aggregate.h. The tree instantiated at the aggregate's
+/// State type must model OrderedGroupStore (core/concepts.h).
+template <template <typename> class TreeT, AggregatePolicy Aggregate>
+  requires OrderedGroupStore<TreeT<typename Aggregate::State>,
+                             typename Aggregate::State>
 class TreeVectorAggregator final : public VectorAggregator {
  public:
   using State = typename Aggregate::State;

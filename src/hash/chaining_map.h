@@ -33,7 +33,7 @@ namespace memagg {
 /// `AllocPolicy` selects the node allocator; `void` resolves to
 /// PoolAllocator<Node> (the node type is private, so the default is spelled
 /// through this indirection).
-template <typename Value, typename Tracer = NullTracer,
+template <typename Value, MemoryTracer Tracer = NullTracer,
           typename AllocPolicy = void>
 class ChainingMap {
  private:
@@ -49,6 +49,11 @@ class ChainingMap {
  public:
   using Alloc = std::conditional_t<std::is_void_v<AllocPolicy>,
                                    PoolAllocator<Node>, AllocPolicy>;
+  static_assert(AllocatorPolicy<Alloc>,
+                "AllocPolicy must model AllocatorPolicy (or be void for the "
+                "default PoolAllocator<Node>)");
+
+  using mapped_type = Value;
 
   explicit ChainingMap(size_t expected_size, Alloc alloc = Alloc())
       : alloc_(std::move(alloc)) {

@@ -51,6 +51,11 @@ class ConcurrentChainingMap {
  public:
   using Alloc = std::conditional_t<std::is_void_v<AllocPolicy>,
                                    PoolAllocator<Node>, AllocPolicy>;
+  static_assert(AllocatorPolicy<Alloc>,
+                "AllocPolicy must model AllocatorPolicy (or be void for the "
+                "default PoolAllocator<Node>)");
+
+  using mapped_type = Value;
 
   explicit ConcurrentChainingMap(size_t expected_size)
       : buckets_(static_cast<size_t>(NextPowerOfTwo(expected_size + 1))),

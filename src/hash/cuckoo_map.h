@@ -41,9 +41,11 @@ namespace memagg {
 /// and MemoryBytes must not race with writers. `Tracer` reports bucket
 /// accesses (see util/tracer.h); tracing is meaningful for single-threaded
 /// use.
-template <typename Value, typename Tracer = NullTracer>
+template <typename Value, MemoryTracer Tracer = NullTracer>
 class CuckooMap {
  public:
+  using mapped_type = Value;
+
   explicit CuckooMap(size_t expected_size) {
     // Two tables' worth of 4-slot buckets at ~80% max load.
     const size_t buckets =
@@ -126,6 +128,22 @@ class CuckooMap {
     const size_t b1 = HashKey(key) & mask_;
     const size_t b2 = HashKeyAlt(key) & mask_;
     return const_cast<CuckooMap*>(this)->FindInBuckets(key, b1, b2);
+  }
+
+  Value* Find(uint64_t key) {
+    return const_cast<Value*>(
+        static_cast<const CuckooMap*>(this)->Find(key));
+  }
+
+  /// Pre-sizes the bucket array for `expected_entries` keys so the build
+  /// phase avoids growth rehashes. Grow-only; must not race with writers
+  /// (quiescent-only, like ForEach) — it takes the resize lock exclusively,
+  /// which drains in-flight operations first.
+  void Reserve(size_t expected_entries) EXCLUDES(resize_mutex_) {
+    const size_t target = std::max<size_t>(
+        static_cast<size_t>(NextPowerOfTwo(expected_entries / 3 + 1)), 2);
+    WriterMutexLock resize_guard(resize_mutex_);
+    if (target > buckets_.size()) RehashToLocked(target);
   }
 
   size_t size() const { return size_.load(std::memory_order_relaxed); }
@@ -342,7 +360,13 @@ class CuckooMap {
   void Grow(size_t buckets_seen) EXCLUDES(resize_mutex_) {
     WriterMutexLock resize_guard(resize_mutex_);
     if (buckets_.size() != buckets_seen) return;  // Lost the grow race.
-    std::vector<Bucket> old_buckets(buckets_.size() * 2, Bucket{});
+    RehashToLocked(buckets_.size() * 2);
+  }
+
+  /// Replaces the bucket array with one of `new_bucket_count` buckets and
+  /// reinserts every item. Shared by Grow and Reserve.
+  void RehashToLocked(size_t new_bucket_count) REQUIRES(resize_mutex_) {
+    std::vector<Bucket> old_buckets(new_bucket_count, Bucket{});
     old_buckets.swap(buckets_);
     mask_ = buckets_.size() - 1;
     size_.store(0, std::memory_order_relaxed);

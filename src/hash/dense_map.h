@@ -23,9 +23,11 @@ namespace memagg {
 /// Quadratic-probing dense hash map from uint64_t keys to Value.
 /// Keys must not be kEmptyKey. Not thread-safe. `Tracer` reports every slot
 /// touched (see util/tracer.h).
-template <typename Value, typename Tracer = NullTracer>
+template <typename Value, MemoryTracer Tracer = NullTracer>
 class DenseMap {
  public:
+  using mapped_type = Value;
+
   explicit DenseMap(size_t expected_size) {
     // dense_hash keeps occupancy below 50%, so pre-sizing for `expected_size`
     // items allocates twice that many slots — the "speed at the expense of
@@ -57,6 +59,14 @@ class DenseMap {
       // power-of-two table exactly once.
       idx = (idx + ++step) & mask_;
     }
+  }
+
+  /// Pre-sizes the table for `expected_entries` keys at dense_hash's 50%
+  /// occupancy ceiling so the build loop never rebuilds. Grow-only.
+  void Reserve(size_t expected_entries) {
+    const size_t target =
+        static_cast<size_t>(NextPowerOfTwo(2 * (expected_entries + 1)));
+    if (target > capacity_) Rebuild(target);
   }
 
   /// Returns the value for `key` or nullptr if absent.

@@ -44,10 +44,12 @@ enum class SizingPolicy {
 /// Open-addressing hash map with linear probing from uint64_t keys to Value.
 /// Keys must not be kEmptyKey. Not thread-safe. `Tracer` reports every slot
 /// touched (see util/tracer.h); `Alloc` provides the slot array.
-template <typename Value, typename Tracer = NullTracer,
-          typename Alloc = ArenaAllocator>
+template <typename Value, MemoryTracer Tracer = NullTracer,
+          AllocatorPolicy Alloc = ArenaAllocator>
 class LinearProbingMap {
  public:
+  using mapped_type = Value;
+
   /// `expected_size` pre-sizes the table; the paper sizes tables to the
   /// dataset size since group-by cardinality is unknown in advance.
   explicit LinearProbingMap(size_t expected_size,
@@ -68,11 +70,13 @@ class LinearProbingMap {
         slots_(other.slots_),
         capacity_(other.capacity_),
         size_(other.size_),
-        rehashes_(other.rehashes_) {
+        rehashes_(other.rehashes_),
+        rehashes_saved_(other.rehashes_saved_) {
     other.slots_ = nullptr;
     other.capacity_ = 0;
     other.size_ = 0;
     other.rehashes_ = 0;
+    other.rehashes_saved_ = 0;
   }
 
   LinearProbingMap& operator=(LinearProbingMap&& other) noexcept {
@@ -84,10 +88,12 @@ class LinearProbingMap {
       capacity_ = other.capacity_;
       size_ = other.size_;
       rehashes_ = other.rehashes_;
+      rehashes_saved_ = other.rehashes_saved_;
       other.slots_ = nullptr;
       other.capacity_ = 0;
       other.size_ = 0;
       other.rehashes_ = 0;
+      other.rehashes_saved_ = 0;
     }
     return *this;
   }
@@ -111,6 +117,19 @@ class LinearProbingMap {
       }
       idx = Advance(idx);
     }
+  }
+
+  /// Pre-sizes the slot array for `expected_entries` keys so the build loop
+  /// never rebuilds. Grow-only; credits the growth doublings a build from
+  /// the current capacity would have performed to rehashes_saved().
+  void Reserve(size_t expected_entries) {
+    // Invert the 70% growth trigger: capacity must satisfy
+    // (entries + 1) * 10 <= capacity * 7.
+    const size_t target =
+        DesiredCapacity(((expected_entries + 1) * 10 + 6) / 7);
+    if (target <= capacity_) return;
+    for (size_t c = capacity_; c < target; c *= 2) ++rehashes_saved_;
+    Rebuild(target);
   }
 
   /// Returns the value for `key` or nullptr if absent.
@@ -141,6 +160,9 @@ class LinearProbingMap {
   /// Growth rebuilds since construction (cold-path counter; the initial
   /// sizing does not count).
   size_t rehashes() const { return rehashes_; }
+
+  /// Growth rebuilds avoided thanks to Reserve().
+  size_t rehashes_saved() const { return rehashes_saved_; }
 
   /// Slot-array allocator counters (see mem/arena.h).
   AllocStats AllocatorStats() const { return alloc_.Stats(); }
@@ -262,6 +284,7 @@ class LinearProbingMap {
   size_t capacity_ = 0;
   size_t size_ = 0;
   size_t rehashes_ = 0;
+  size_t rehashes_saved_ = 0;
 };
 
 }  // namespace memagg

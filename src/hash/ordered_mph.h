@@ -11,11 +11,11 @@
 //     with a cache-friendly Eytzinger-layout binary search. Minimal (image
 //     is exactly [0, c)), perfect (no collisions), order-preserving
 //     (key order == slot order).
-//   * MphVectorAggregator — the two-pass operator the scheme forces: pass 1
-//     sorts and deduplicates the keys to build the MPHF; pass 2 aggregates
-//     into a dense value array indexed by mph(key). Iterate is a dense
-//     in-order scan — the nicest iterate phase of any hash operator, paid
-//     for by the extra pass and the per-record rank evaluation.
+//   * MphVectorAggregator (core/mph_aggregator.h) — the two-pass operator
+//     the scheme forces: pass 1 sorts and deduplicates the keys to build the
+//     MPHF; pass 2 aggregates into a dense value array indexed by mph(key).
+//     It lives in core/ so this header stays below the operator layer
+//     (tools/check_layering.py).
 
 #ifndef MEMAGG_HASH_ORDERED_MPH_H_
 #define MEMAGG_HASH_ORDERED_MPH_H_
@@ -26,10 +26,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/aggregate.h"
-#include "core/operator.h"
-#include "core/result.h"
-#include "obs/query_stats.h"
 #include "sort/spreadsort.h"
 #include "util/macros.h"
 
@@ -108,77 +104,6 @@ class OrderedMinimalPerfectHash {
   std::vector<uint64_t> sorted_keys_;
   std::vector<uint64_t> eytzinger_;
   std::vector<size_t> rank_of_;
-};
-
-/// Vector aggregation via an order-preserving MPHF: the §3.2 design the
-/// paper dismisses, implemented so bench_ablation can quantify the cost.
-template <typename Aggregate>
-class MphVectorAggregator final : public VectorAggregator {
- public:
-  using State = typename Aggregate::State;
-
-  explicit MphVectorAggregator(size_t /*expected_size*/ = 0) {}
-
-  void Build(const uint64_t* keys, const uint64_t* values,
-             size_t n) override {
-    // The MPHF needs the complete key set, so records are buffered across
-    // Build calls and the function + dense states are rebuilt from scratch
-    // each time (the two-pass cost the paper anticipates).
-    buffered_keys_.insert(buffered_keys_.end(), keys, keys + n);
-    if constexpr (Aggregate::kNeedsValues) {
-      MEMAGG_CHECK(values != nullptr || n == 0);
-      buffered_values_.insert(buffered_values_.end(), values, values + n);
-    }
-    mph_.Build(buffered_keys_.data(), buffered_keys_.size());
-    states_.clear();
-    states_.resize(mph_.size());
-    for (size_t i = 0; i < buffered_keys_.size(); ++i) {
-      const size_t slot = mph_.Slot(buffered_keys_[i]);
-      MEMAGG_DCHECK(slot < states_.size());
-      Aggregate::Update(states_[slot], Aggregate::kNeedsValues
-                                           ? buffered_values_[i]
-                                           : 0);
-    }
-  }
-
-  VectorResult Iterate() override {
-    VectorResult result;
-    result.reserve(states_.size());
-    for (size_t slot = 0; slot < states_.size(); ++slot) {
-      result.push_back(
-          {mph_.KeyAt(slot), Aggregate::Finalize(states_[slot])});
-    }
-    return result;
-  }
-
-  bool SupportsRange() const override { return true; }
-
-  VectorResult IterateRange(uint64_t lo, uint64_t hi) override {
-    VectorResult result;
-    for (size_t slot = 0; slot < states_.size(); ++slot) {
-      const uint64_t key = mph_.KeyAt(slot);
-      if (key < lo) continue;
-      if (key > hi) break;  // Slots are key-ordered.
-      result.push_back({key, Aggregate::Finalize(states_[slot])});
-    }
-    return result;
-  }
-
-  size_t NumGroups() const override { return states_.size(); }
-
-  size_t DataStructureBytes() const override {
-    return mph_.MemoryBytes() + states_.capacity() * sizeof(State);
-  }
-
-  void CollectStats(QueryStats* stats) const override {
-    stats->Add(StatCounter::kHashEntries, states_.size());
-  }
-
- private:
-  OrderedMinimalPerfectHash mph_;
-  std::vector<State> states_;
-  std::vector<uint64_t> buffered_keys_;
-  std::vector<uint64_t> buffered_values_;
 };
 
 }  // namespace memagg

@@ -30,10 +30,12 @@ namespace memagg {
 /// packed entry arrays, whose per-insert reallocation makes Hash_Sparse
 /// heavily allocator-bound — the default arena allocator recycles retired
 /// arrays through its size-class freelists.
-template <typename Value, typename Tracer = NullTracer,
-          typename Alloc = ArenaAllocator>
+template <typename Value, MemoryTracer Tracer = NullTracer,
+          AllocatorPolicy Alloc = ArenaAllocator>
 class SparseMap {
  public:
+  using mapped_type = Value;
+
   explicit SparseMap(size_t expected_size) {
     Rebuild(static_cast<size_t>(NextPowerOfTwo(expected_size + 1)));
   }
@@ -73,6 +75,14 @@ class SparseMap {
       }
       idx = (idx + ++step) & mask_;
     }
+  }
+
+  /// Pre-sizes the table for `expected_entries` keys at sparsehash's 80%
+  /// occupancy ceiling so the build loop never rebuilds. Grow-only.
+  void Reserve(size_t expected_entries) {
+    const size_t target = static_cast<size_t>(
+        NextPowerOfTwo(((expected_entries + 1) * 5 + 3) / 4));
+    if (target > capacity_) Rebuild(target);
   }
 
   /// Returns the value for `key` or nullptr if absent.

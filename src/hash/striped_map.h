@@ -35,6 +35,8 @@ namespace memagg {
 template <typename InnerMap>
 class StripedMap {
  public:
+  using mapped_type = typename InnerMap::mapped_type;
+
   /// `num_stripes` is rounded up to a power of two. More stripes = less
   /// contention but worse per-stripe locality; 64 suits up to ~16 threads.
   explicit StripedMap(size_t expected_size, size_t num_stripes = 64)

@@ -1,13 +1,9 @@
 // Allocator policies threaded through every node-based structure
 // (src/hash/, src/tree/). Each structure takes an `Alloc` template
-// parameter satisfying this informal concept:
-//
-//   static constexpr bool kWholesaleRelease;   // May skip per-node frees?
-//   template <typename T, typename... A> T* New(A&&...);
-//   template <typename T> void Delete(T*);     // Runs the destructor.
-//   void* AllocateBytes(size_t bytes, size_t align);
-//   void DeallocateBytes(void* ptr, size_t bytes);
-//   AllocStats Stats() const;
+// parameter modeling the AllocatorPolicy concept below; the typed
+// New<T>/Delete<T> node interface rides on top of the byte interface and is
+// checked structurally at each call site (PoolAllocator deliberately
+// restricts it to one node type).
 //
 // Three policies are provided:
 //
@@ -28,6 +24,7 @@
 #define MEMAGG_MEM_ALLOCATOR_H_
 
 #include <array>
+#include <concepts>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -39,6 +36,22 @@
 #include "util/macros.h"
 
 namespace memagg {
+
+/// Contract for every allocator policy: the raw byte interface all slot- and
+/// node-based structures draw from, a per-policy Stats() counter snapshot,
+/// and the compile-time kWholesaleRelease flag destructor fast paths key on.
+/// Modeled by GlobalNewAllocator, ArenaAllocator, and PoolAllocator<T>
+/// (all below).
+template <typename A>
+concept AllocatorPolicy =
+    std::move_constructible<A> &&
+    requires(A alloc, const A& calloc, void* ptr, size_t bytes, size_t align) {
+      requires std::same_as<
+          std::remove_cv_t<decltype(A::kWholesaleRelease)>, bool>;
+      { alloc.AllocateBytes(bytes, align) } -> std::same_as<void*>;
+      alloc.DeallocateBytes(ptr, bytes);
+      { calloc.Stats() } -> std::same_as<AllocStats>;
+    };
 
 /// Ablation baseline: every node is a separate global new/delete. This is
 /// what all node-based structures did before the arena layer existed, and
@@ -333,6 +346,10 @@ class PoolAllocator {
   uint64_t free_count_ = 0;
   uint64_t freelist_reuses_ = 0;
 };
+
+static_assert(AllocatorPolicy<GlobalNewAllocator>);
+static_assert(AllocatorPolicy<ArenaAllocator>);
+static_assert(AllocatorPolicy<PoolAllocator<uint64_t>>);
 
 }  // namespace memagg
 

@@ -31,10 +31,12 @@ namespace memagg {
 /// the default arena allocator recycles outgrown inner nodes (Node4 →
 /// Node16 → Node48 → Node256 leaves the smaller shell on a freelist for
 /// the next split) and releases everything wholesale at destruction.
-template <typename Value, typename Tracer = NullTracer,
-          typename Alloc = ArenaAllocator>
+template <typename Value, MemoryTracer Tracer = NullTracer,
+          AllocatorPolicy Alloc = ArenaAllocator>
 class ArtTree {
  public:
+  using mapped_type = Value;
+
   ArtTree() = default;
 
   ~ArtTree() {

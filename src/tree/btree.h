@@ -23,10 +23,12 @@ namespace memagg {
 /// (see util/tracer.h). `Alloc` serves the two node sizes (Leaf/Inner); the
 /// default arena allocator recycles split-away nodes through its size-class
 /// freelists and releases everything wholesale at destruction.
-template <typename Value, typename Tracer = NullTracer,
-          typename Alloc = ArenaAllocator>
+template <typename Value, MemoryTracer Tracer = NullTracer,
+          AllocatorPolicy Alloc = ArenaAllocator>
 class BTree {
  public:
+  using mapped_type = Value;
+
   /// Slots per node (STX sizes nodes to ~256 bytes of keys).
   static constexpr int kLeafSlots = 16;
   static constexpr int kInnerSlots = 16;

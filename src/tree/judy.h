@@ -35,10 +35,12 @@ namespace memagg {
 /// node structs and the exact-fit packed arrays, whose constant reallocation
 /// makes Judy the most allocator-bound structure in the repo — the default
 /// arena allocator recycles the retired arrays through size-class freelists.
-template <typename Value, typename Tracer = NullTracer,
-          typename Alloc = ArenaAllocator>
+template <typename Value, MemoryTracer Tracer = NullTracer,
+          AllocatorPolicy Alloc = ArenaAllocator>
 class JudyArray {
  public:
+  using mapped_type = Value;
+
   JudyArray() = default;
 
   ~JudyArray() {

@@ -25,10 +25,12 @@ namespace memagg {
 /// (see util/tracer.h). `AllocPolicy` selects the node allocator;
 /// `void` resolves to PoolAllocator<Node> (the node type is private, so the
 /// default is spelled through this indirection).
-template <typename Value, typename Tracer = NullTracer,
+template <typename Value, MemoryTracer Tracer = NullTracer,
           typename AllocPolicy = void>
 class TTree {
  public:
+  using mapped_type = Value;
+
   /// Entries per node (Lehman & Carey found moderate node sizes best).
   static constexpr int kNodeCapacity = 32;
 
@@ -45,6 +47,9 @@ class TTree {
  public:
   using Alloc = std::conditional_t<std::is_void_v<AllocPolicy>,
                                    PoolAllocator<Node>, AllocPolicy>;
+  static_assert(AllocatorPolicy<Alloc>,
+                "AllocPolicy must model AllocatorPolicy (or be void for the "
+                "default PoolAllocator<Node>)");
 
   TTree() = default;
 

@@ -10,15 +10,28 @@
 #ifndef MEMAGG_UTIL_TRACER_H_
 #define MEMAGG_UTIL_TRACER_H_
 
+#include <concepts>
 #include <cstddef>
 
 namespace memagg {
+
+/// Contract for the `Tracer` policy every traced structure accepts: a
+/// static OnAccess hook plus a compile-time kEnabled flag that lets
+/// operators skip access loops entirely when tracing is off. Modeled by
+/// NullTracer (below) and SimTracer (sim/sim_tracer.h).
+template <typename T>
+concept MemoryTracer = requires(const void* address, size_t bytes) {
+  { T::kEnabled } -> std::convertible_to<bool>;
+  T::OnAccess(address, bytes);
+};
 
 /// Default tracer: all hooks are no-ops the optimizer removes.
 struct NullTracer {
   static constexpr bool kEnabled = false;
   static void OnAccess(const void* /*address*/, size_t /*bytes*/) {}
 };
+
+static_assert(MemoryTracer<NullTracer>);
 
 }  // namespace memagg
 

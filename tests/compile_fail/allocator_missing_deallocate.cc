@@ -1,0 +1,24 @@
+// compile-fail: an allocation policy without DeallocateBytes must be
+// rejected at the container's template parameter with AllocatorPolicy in
+// the diagnostic (wholesale-release arenas still get per-array frees from
+// rebuild paths).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/linear_probing_map.h"
+#include "mem/allocator.h"
+
+namespace memagg {
+
+struct LeakyAllocator {
+  static constexpr bool kWholesaleRelease = false;
+  void* AllocateBytes(size_t bytes, size_t align);
+  // Missing: void DeallocateBytes(void* ptr, size_t bytes).
+  AllocStats Stats() const;
+};
+
+using Broken = LinearProbingMap<uint64_t, NullTracer, LeakyAllocator>;
+Broken* unused = nullptr;
+
+}  // namespace memagg

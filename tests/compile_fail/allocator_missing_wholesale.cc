@@ -1,0 +1,24 @@
+// compile-fail: an allocation policy without the compile-time
+// kWholesaleRelease flag must be rejected with AllocatorPolicy in the
+// diagnostic — destructor fast paths key on that flag, so omitting it would
+// otherwise silently pick the slow path.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/linear_probing_map.h"
+#include "mem/allocator.h"
+
+namespace memagg {
+
+struct NoFlagAllocator {
+  // Missing: static constexpr bool kWholesaleRelease.
+  void* AllocateBytes(size_t bytes, size_t align);
+  void DeallocateBytes(void* ptr, size_t bytes);
+  AllocStats Stats() const;
+};
+
+using Broken = LinearProbingMap<uint64_t, NullTracer, NoFlagAllocator>;
+Broken* unused = nullptr;
+
+}  // namespace memagg

@@ -1,0 +1,28 @@
+// compile-fail: a "concurrent" table with neither a locked Upsert nor
+// shared-insert-with-worker-allocator must be rejected with
+// ConcurrentGroupMap in the diagnostic (paper Section 5.8: thread-safe
+// insert AND update is the qualifying bar).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/concepts.h"
+
+namespace memagg {
+
+class PutGetOnlyMap {
+ public:
+  explicit PutGetOnlyMap(size_t expected_size);
+  // Thread-safe put/get is NOT enough: no Upsert, no GetOrInsert(key, alloc).
+  void Put(uint64_t key, uint64_t value);
+  bool Get(uint64_t key, uint64_t* value) const;
+  size_t size() const;
+  size_t MemoryBytes() const;
+  template <typename Fn>
+  void ForEach(Fn fn) const;
+};
+
+static_assert(ConcurrentGroupMap<PutGetOnlyMap, uint64_t>,
+              "put/get tables do not qualify as concurrent group maps");
+
+}  // namespace memagg

@@ -1,0 +1,22 @@
+// compile-fail: a type that does not derive from VectorAggregator is not an
+// aggregation operator, and the diagnostic must say AggregationOperator —
+// the engine registry's products all go through that interface.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "core/result.h"
+
+namespace memagg {
+
+class FreestandingAggregator {
+ public:
+  void Build(const uint64_t* keys, const uint64_t* values, size_t n);
+  VectorResult Iterate();
+};
+
+static_assert(AggregationOperator<FreestandingAggregator>,
+              "operators must derive from VectorAggregator");
+
+}  // namespace memagg

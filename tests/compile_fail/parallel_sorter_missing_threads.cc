@@ -1,0 +1,14 @@
+// compile-fail: a serial sorter handed to a parallel slot must be rejected
+// with ParallelSorter in the diagnostic — the engine factories set
+// .num_threads from the execution context, so a sorter without the field
+// would silently run serial.
+
+#include "core/concepts.h"
+#include "core/sorters.h"
+
+namespace memagg {
+
+static_assert(ParallelSorter<IntrosortSorter>,
+              "serial sorters have no thread budget to configure");
+
+}  // namespace memagg

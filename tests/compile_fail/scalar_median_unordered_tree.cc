@@ -1,0 +1,13 @@
+// compile-fail: TreeScalarMedianAggregator walks groups in key order, so
+// handing it a hash map must be rejected with OrderedGroupStore in the
+// diagnostic — an unordered walk would return a wrong median silently.
+
+#include "core/scalar.h"
+#include "hash/dense_map.h"
+
+namespace memagg {
+
+using Broken = TreeScalarMedianAggregator<DenseMap>;
+Broken* unused = nullptr;
+
+}  // namespace memagg

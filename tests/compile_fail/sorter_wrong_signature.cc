@@ -1,0 +1,21 @@
+// compile-fail: a sort functor that only handles plain key arrays (no
+// (key, value) record overload) must be rejected at SortVectorAggregator's
+// instantiation site with Sorter in the diagnostic — holistic aggregates
+// sort records, not keys.
+
+#include <cstdint>
+
+#include "core/aggregate.h"
+#include "core/sort_aggregator.h"
+
+namespace memagg {
+
+struct KeysOnlySorter {
+  void operator()(uint64_t* first, uint64_t* last, IdentityKey key_of) const;
+  // Missing: the generic overload over (key, value) records.
+};
+
+using Broken = SortVectorAggregator<KeysOnlySorter, SumAggregate>;
+Broken* unused = nullptr;
+
+}  // namespace memagg

@@ -1,0 +1,21 @@
+// compile-fail: a tracer policy without the static OnAccess hook must be
+// rejected at the container's template parameter with MemoryTracer in the
+// diagnostic.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/linear_probing_map.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+struct SilentTracer {
+  static constexpr bool kEnabled = true;
+  // Missing: static void OnAccess(const void*, size_t).
+};
+
+using Broken = LinearProbingMap<uint64_t, SilentTracer>;
+Broken* unused = nullptr;
+
+}  // namespace memagg

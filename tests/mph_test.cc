@@ -1,6 +1,7 @@
 // Tests for order-preserving minimal perfect hashing and its aggregation
 // operator (the paper's §3.2 "ordered hash table" design).
 
+#include "core/mph_aggregator.h"
 #include "hash/ordered_mph.h"
 
 #include <gtest/gtest.h>

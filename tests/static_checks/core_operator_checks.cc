@@ -1,0 +1,48 @@
+// Pins one instantiation of every aggregation-operator family to
+// AggregationOperator / ScalarOperator (core/concepts.h), so the engine
+// registry's assumption — any factory product is a concrete
+// Vector/ScalarAggregator — is checked where the families are defined.
+// Compiling this TU is the test; it has no runtime code.
+
+#include "core/aggregate.h"
+#include "core/concepts.h"
+#include "core/hash_aggregator.h"
+#include "core/hybrid_aggregator.h"
+#include "core/local_partition_aggregator.h"
+#include "core/mph_aggregator.h"
+#include "core/parallel_aggregator.h"
+#include "core/radix_partition_aggregator.h"
+#include "core/scalar.h"
+#include "core/sort_aggregator.h"
+#include "core/sorters.h"
+#include "core/tree_aggregator.h"
+#include "hash/linear_probing_map.h"
+#include "tree/art.h"
+
+namespace memagg {
+
+static_assert(
+    AggregationOperator<HashVectorAggregator<LinearProbingMap, SumAggregate>>);
+static_assert(
+    AggregationOperator<TreeVectorAggregator<ArtTree, SumAggregate>>);
+static_assert(
+    AggregationOperator<SortVectorAggregator<IntrosortSorter, SumAggregate>>);
+static_assert(AggregationOperator<MphVectorAggregator<SumAggregate>>);
+static_assert(AggregationOperator<HybridVectorAggregator<SumAggregate>>);
+static_assert(AggregationOperator<LocalPartitionAggregator<SumAggregate>>);
+static_assert(AggregationOperator<RadixPartitionAggregator<MedianAggregate>>);
+static_assert(
+    AggregationOperator<TbbStyleParallelAggregator<ConcurrentSumAggregate>>);
+static_assert(AggregationOperator<CuckooParallelAggregator<SumAggregate>>);
+static_assert(AggregationOperator<StripedParallelAggregator<SumAggregate>>);
+
+static_assert(ScalarOperator<StreamingCountAggregator>);
+static_assert(ScalarOperator<StreamingAverageAggregator>);
+static_assert(ScalarOperator<SortScalarMedianAggregator<IntrosortSorter>>);
+static_assert(ScalarOperator<TreeScalarMedianAggregator<ArtTree>>);
+
+// The abstract interfaces themselves are not operators.
+static_assert(!AggregationOperator<VectorAggregator>);
+static_assert(!ScalarOperator<ScalarAggregator>);
+
+}  // namespace memagg

@@ -1,0 +1,20 @@
+// Pins hash/chaining_map.h's public types to their concept rows
+// (core/concepts.h). Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/chaining_map.h"
+
+namespace memagg {
+
+static_assert(GroupMap<ChainingMap<uint64_t>, uint64_t>);
+static_assert(GroupMap<ChainingMap<double>, double>);
+
+// The global-new ablation alias keeps the same contract.
+static_assert(GroupMap<ChainingMapGlobalNew<uint64_t>, uint64_t>);
+
+// Hash_SC is serial: it must NOT advertise a concurrent interface.
+static_assert(!ConcurrentGroupMap<ChainingMap<uint64_t>, uint64_t>);
+
+}  // namespace memagg

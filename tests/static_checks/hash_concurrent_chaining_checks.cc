@@ -1,0 +1,19 @@
+// Pins hash/concurrent_chaining_map.h's public type to its concept row
+// (core/concepts.h). Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/concurrent_chaining_map.h"
+
+namespace memagg {
+
+static_assert(ConcurrentGroupMap<ConcurrentChainingMap<uint64_t>, uint64_t>);
+static_assert(SharedAllocGroupMap<ConcurrentChainingMap<uint64_t>, uint64_t>);
+
+// Hash_TBBSC's insert requires the caller's allocator handle, so it must NOT
+// satisfy the serial single-argument GroupMap surface.
+static_assert(!GroupMap<ConcurrentChainingMap<uint64_t>, uint64_t>);
+static_assert(!UpsertGroupMap<ConcurrentChainingMap<uint64_t>, uint64_t>);
+
+}  // namespace memagg

@@ -1,0 +1,20 @@
+// Pins hash/cuckoo_map.h's public type to its concept rows
+// (core/concepts.h): Hash_LC is the one structure that serves both the
+// serial GroupMap role and the concurrent upsert role (paper Section 5.8).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/cuckoo_map.h"
+
+namespace memagg {
+
+static_assert(GroupMap<CuckooMap<uint64_t>, uint64_t>);
+static_assert(ConcurrentGroupMap<CuckooMap<uint64_t>, uint64_t>);
+static_assert(UpsertGroupMap<CuckooMap<uint64_t>, uint64_t>);
+
+// Its concurrency comes from locked upsert, not per-worker allocation.
+static_assert(!SharedAllocGroupMap<CuckooMap<uint64_t>, uint64_t>);
+
+}  // namespace memagg

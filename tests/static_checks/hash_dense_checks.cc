@@ -1,0 +1,17 @@
+// Pins hash/dense_map.h's public type to its concept row (core/concepts.h).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/dense_map.h"
+
+namespace memagg {
+
+static_assert(GroupMap<DenseMap<uint64_t>, uint64_t>);
+static_assert(GroupMap<DenseMap<double>, double>);
+
+// Hash_Dense grows with the data; it is not an ordered store.
+static_assert(!OrderedGroupStore<DenseMap<uint64_t>, uint64_t>);
+
+}  // namespace memagg

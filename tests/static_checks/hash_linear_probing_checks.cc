@@ -1,0 +1,24 @@
+// Pins hash/linear_probing_map.h's public type to its concept row
+// (core/concepts.h). Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/linear_probing_map.h"
+#include "mem/allocator.h"
+#include "util/tracer.h"
+
+namespace memagg {
+
+static_assert(GroupMap<LinearProbingMap<uint64_t>, uint64_t>);
+static_assert(GroupMap<LinearProbingMap<double>, double>);
+
+// Every tracer/allocator combination stays a GroupMap.
+static_assert(
+    GroupMap<LinearProbingMap<uint64_t, NullTracer, GlobalNewAllocator>,
+             uint64_t>);
+
+// Hash_LP is serial: it must NOT advertise a concurrent interface.
+static_assert(!ConcurrentGroupMap<LinearProbingMap<uint64_t>, uint64_t>);
+
+}  // namespace memagg

@@ -1,0 +1,26 @@
+// Pins hash/ordered_mph.h's public type's interface (core/concepts.h has no
+// dedicated concept for a perfect-hash function, so the contract its
+// consumer — core/mph_aggregator.h — relies on is spelled here directly).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+#include "hash/ordered_mph.h"
+
+namespace memagg {
+
+static_assert(std::default_initializable<OrderedMinimalPerfectHash>);
+static_assert(requires(OrderedMinimalPerfectHash mph,
+                       const OrderedMinimalPerfectHash& cmph,
+                       const uint64_t* keys, size_t n, uint64_t key,
+                       size_t slot) {
+  mph.Build(keys, n);
+  { cmph.size() } -> std::convertible_to<size_t>;
+  { cmph.Slot(key) } -> std::same_as<size_t>;
+  { cmph.KeyAt(slot) } -> std::same_as<uint64_t>;
+  { cmph.MemoryBytes() } -> std::convertible_to<size_t>;
+});
+
+}  // namespace memagg

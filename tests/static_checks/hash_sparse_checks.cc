@@ -1,0 +1,17 @@
+// Pins hash/sparse_map.h's public type to its concept row (core/concepts.h).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/sparse_map.h"
+#include "mem/allocator.h"
+
+namespace memagg {
+
+static_assert(GroupMap<SparseMap<uint64_t>, uint64_t>);
+static_assert(GroupMap<SparseMap<double>, double>);
+static_assert(
+    GroupMap<SparseMap<uint64_t, NullTracer, GlobalNewAllocator>, uint64_t>);
+
+}  // namespace memagg

@@ -1,0 +1,25 @@
+// Pins hash/striped_map.h's public type to its concept row
+// (core/concepts.h). The wrapper cannot name core concepts itself (hash/
+// sits below core/ in the include DAG), so its contract is pinned here.
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "hash/chaining_map.h"
+#include "hash/linear_probing_map.h"
+#include "hash/striped_map.h"
+
+namespace memagg {
+
+static_assert(
+    ConcurrentGroupMap<StripedMap<LinearProbingMap<uint64_t>>, uint64_t>);
+static_assert(UpsertGroupMap<StripedMap<LinearProbingMap<uint64_t>>, uint64_t>);
+
+// Striping is inner-map agnostic: any GroupMap works as the stripe type.
+static_assert(ConcurrentGroupMap<StripedMap<ChainingMap<uint64_t>>, uint64_t>);
+
+// Upserts must go through the stripe locks: no raw GetOrInsert surface.
+static_assert(!GroupMap<StripedMap<LinearProbingMap<uint64_t>>, uint64_t>);
+
+}  // namespace memagg

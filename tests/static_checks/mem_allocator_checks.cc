@@ -1,0 +1,20 @@
+// Pins mem/allocator.h's policies to the AllocatorPolicy concept (defined in
+// that header so lower layers can constrain with it) and records each
+// policy's wholesale-release stance. Compiling this TU is the test; it has
+// no runtime code.
+
+#include <cstdint>
+
+#include "mem/allocator.h"
+
+namespace memagg {
+
+static_assert(AllocatorPolicy<GlobalNewAllocator>);
+static_assert(AllocatorPolicy<ArenaAllocator>);
+static_assert(AllocatorPolicy<PoolAllocator<uint64_t>>);
+
+static_assert(!GlobalNewAllocator::kWholesaleRelease);
+static_assert(ArenaAllocator::kWholesaleRelease);
+static_assert(PoolAllocator<uint64_t>::kWholesaleRelease);
+
+}  // namespace memagg

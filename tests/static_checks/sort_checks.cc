@@ -1,0 +1,31 @@
+// Pins src/sort/'s public types to their concept rows (core/concepts.h):
+// the key extractors and comparator from sort/sort_common.h and the record
+// types the kernels permute. The sorter functors themselves live in
+// core/sorters.h, which carries its own Sorter/ParallelSorter asserts.
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+#include <utility>
+
+#include "core/concepts.h"
+#include "core/sorters.h"
+#include "sort/sort_common.h"
+
+namespace memagg {
+
+using Record = std::pair<uint64_t, uint64_t>;
+
+static_assert(KeyExtractor<IdentityKey, uint64_t>);
+static_assert(KeyExtractor<PairFirstKey, Record>);
+static_assert(SortableRecord<uint64_t>);
+static_assert(SortableRecord<Record>);
+
+// KeyLess adapts an extractor into the comparator the comparison sorts use.
+static_assert(std::predicate<KeyLess<IdentityKey>, uint64_t, uint64_t>);
+static_assert(std::predicate<KeyLess<PairFirstKey>, Record, Record>);
+
+// A serial sorter must not advertise a thread budget.
+static_assert(!ParallelSorter<IntrosortSorter>);
+static_assert(!ParallelSorter<SpreadsortSorter>);
+
+}  // namespace memagg

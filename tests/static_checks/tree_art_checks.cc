@@ -1,0 +1,21 @@
+// Pins tree/art.h's public types to their concept row (core/concepts.h).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "tree/art.h"
+
+namespace memagg {
+
+static_assert(OrderedGroupStore<ArtTree<uint64_t>, uint64_t>);
+static_assert(OrderedGroupStore<ArtTree<double>, double>);
+
+// The global-new ablation alias keeps the same contract.
+static_assert(OrderedGroupStore<ArtTreeGlobalNew<uint64_t>, uint64_t>);
+
+// Trees grow with the data: no (size_t) pre-sizing constructor, so the hash
+// GroupMap role must NOT match.
+static_assert(!GroupMap<ArtTree<uint64_t>, uint64_t>);
+
+}  // namespace memagg

@@ -1,0 +1,15 @@
+// Pins tree/judy.h's public type to its concept row (core/concepts.h).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "tree/judy.h"
+
+namespace memagg {
+
+static_assert(OrderedGroupStore<JudyArray<uint64_t>, uint64_t>);
+static_assert(OrderedGroupStore<JudyArray<double>, double>);
+static_assert(!GroupMap<JudyArray<uint64_t>, uint64_t>);
+
+}  // namespace memagg

@@ -1,0 +1,15 @@
+// Pins tree/ttree.h's public type to its concept row (core/concepts.h).
+// Compiling this TU is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "core/concepts.h"
+#include "tree/ttree.h"
+
+namespace memagg {
+
+static_assert(OrderedGroupStore<TTree<uint64_t>, uint64_t>);
+static_assert(OrderedGroupStore<TTree<double>, double>);
+static_assert(!GroupMap<TTree<uint64_t>, uint64_t>);
+
+}  // namespace memagg

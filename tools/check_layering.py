@@ -1,0 +1,267 @@
+#!/usr/bin/env python3
+"""Include-layering analysis: enforce the module DAG over `#include` edges.
+
+The repo is layered so any structure can be swapped without dragging the
+operator layer (or anything above it) into lower-level headers:
+
+    util  <-  mem  <-  obs  <-  exec  <-  {data, sort}  <-  {hash, tree}
+          <-  core  <-  sim  <-  {bench, tests, examples}
+
+Concretely, MODULE_DEPS below lists, for every module under src/, the set of
+modules its files may include from. Anything else is a back-edge. The checker
+parses every quoted `#include "module/..."` in src/, bench/, tests/, and
+examples/, reports each violation with file:line, and additionally runs a
+cycle detection pass over the *observed* module graph (a cycle means
+MODULE_DEPS itself has rotted or two modules grew a mutual dependency).
+
+Usage:
+  tools/check_layering.py              # check the repo (exit 1 on violations)
+  tools/check_layering.py --self-test  # run the planted-violation fixtures
+
+Registered in ctest (check_layering, check_layering_selftest) and the CI
+`layering` job. No dependencies beyond the standard library.
+"""
+
+import os
+import re
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# module -> set of modules its files may #include from (besides itself).
+# Keep in sync with the DAG diagram in docs/static_analysis.md.
+MODULE_DEPS = {
+    "util": set(),
+    "mem": {"util"},
+    "obs": {"util", "mem"},
+    "exec": {"util", "mem", "obs"},
+    "data": {"util"},
+    "sort": {"util", "mem", "obs", "exec"},
+    "hash": {"util", "mem", "obs", "exec", "sort"},
+    "tree": {"util", "mem", "obs", "exec", "sort"},
+    "core": {"util", "mem", "obs", "exec", "data", "sort", "hash", "tree"},
+    "sim": {"util", "mem", "obs", "exec", "data", "sort", "hash", "tree",
+            "core"},
+    # Top-of-stack consumers: may include anything under src/.
+    "bench": None,
+    "tests": None,
+    "examples": None,
+}
+
+# Directories scanned, and the module their files belong to. src/<module>/ is
+# derived from the path; these roots map whole trees to one consumer module.
+CONSUMER_ROOTS = {"bench": "bench", "tests": "tests", "examples": "examples"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+SOURCE_EXTS = (".h", ".cc")
+
+
+def module_of_include(path):
+    """Maps an include path like 'hash/dense_map.h' to its module, or None
+    for non-module includes (e.g. 'gtest/gtest.h')."""
+    first = path.split("/", 1)[0]
+    if first in MODULE_DEPS and first not in CONSUMER_ROOTS:
+        return first
+    return None
+
+
+def iter_source_files(root):
+    """Yields (abs_path, module) for every checked source file."""
+    src_dir = os.path.join(root, "src")
+    if os.path.isdir(src_dir):
+        for dirpath, _dirnames, filenames in os.walk(src_dir):
+            rel = os.path.relpath(dirpath, src_dir)
+            module = rel.split(os.sep)[0]
+            if module in (".", "") or module not in MODULE_DEPS:
+                continue
+            for name in filenames:
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name), module
+    for consumer_dir, module in CONSUMER_ROOTS.items():
+        top = os.path.join(root, consumer_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _dirnames, filenames in os.walk(top):
+            for name in filenames:
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.join(dirpath, name), module
+
+
+def check_tree(root, module_deps=None):
+    """Returns (violations, observed_edges). Each violation is a string
+    'file:line: message'; observed_edges maps module -> set(module)."""
+    deps = MODULE_DEPS if module_deps is None else module_deps
+    violations = []
+    observed = {}
+    for path, module in iter_source_files(root):
+        allowed = deps.get(module)
+        try:
+            with open(path, encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as err:
+            violations.append("%s:0: unreadable (%s)" % (path, err))
+            continue
+        for lineno, line in enumerate(lines, start=1):
+            match = INCLUDE_RE.match(line)
+            if match is None:
+                continue
+            target = module_of_include(match.group(1))
+            if target is None or target == module:
+                continue
+            observed.setdefault(module, set()).add(target)
+            if allowed is not None and target not in allowed:
+                rel = os.path.relpath(path, root)
+                violations.append(
+                    "%s:%d: back-edge: module '%s' may not include "
+                    "'%s' (saw #include \"%s\")"
+                    % (rel, lineno, module, target, match.group(1)))
+    return violations, observed
+
+
+def find_cycle(edges):
+    """Returns a cycle as a list of modules, or None. `edges` maps
+    module -> iterable of modules it depends on."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in edges}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for dep in sorted(edges.get(node, ())):
+            if color.get(dep, WHITE) == GRAY:
+                return stack[stack.index(dep):] + [dep]
+            if color.get(dep, WHITE) == WHITE and dep in edges:
+                cycle = visit(dep)
+                if cycle is not None:
+                    return cycle
+        stack.pop()
+        color[node] = BLACK
+        return None
+
+    for node in sorted(edges):
+        if color[node] == WHITE:
+            cycle = visit(node)
+            if cycle is not None:
+                return cycle
+    return None
+
+
+def declared_edges():
+    """MODULE_DEPS as a plain edge map (consumer modules excluded)."""
+    return {m: set(deps) for m, deps in MODULE_DEPS.items()
+            if deps is not None}
+
+
+def run_check(root):
+    violations, observed = check_tree(root)
+    # Validate the declared DAG itself: if someone edits MODULE_DEPS into a
+    # cycle, every per-file check above is meaningless.
+    declared_cycle = find_cycle(declared_edges())
+    if declared_cycle is not None:
+        violations.append(
+            "tools/check_layering.py:0: MODULE_DEPS itself contains a "
+            "cycle: %s" % " -> ".join(declared_cycle))
+    observed_cycle = find_cycle(
+        {m: {d for d in deps if d in observed} for m, deps in
+         observed.items()})
+    if observed_cycle is not None:
+        violations.append(
+            "(include graph): cycle between modules: %s"
+            % " -> ".join(observed_cycle))
+    if violations:
+        for violation in violations:
+            print(violation)
+        print("check_layering: %d violation(s)" % len(violations))
+        return 1
+    modules = sorted(m for m in MODULE_DEPS if MODULE_DEPS[m] is not None)
+    print("check_layering: OK (%d modules, %d include edges, no back-edges, "
+          "no cycles)" % (len(modules),
+                          sum(len(v) for v in observed.values())))
+    return 0
+
+
+# --- Self-test fixtures -----------------------------------------------------
+
+def self_test():
+    """Plants a back-edge and a cycle in a scratch mini-tree and asserts both
+    are reported, the back-edge with file:line."""
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="check_layering_") as root:
+        hash_dir = os.path.join(root, "src", "hash")
+        core_dir = os.path.join(root, "src", "core")
+        os.makedirs(hash_dir)
+        os.makedirs(core_dir)
+        # Planted back-edge: hash/ includes core/ (line 3 of bad_map.h).
+        with open(os.path.join(hash_dir, "bad_map.h"), "w",
+                  encoding="utf-8") as f:
+            f.write('// fixture\n'
+                    '#include "util/bits.h"\n'
+                    '#include "core/operator.h"\n')
+        with open(os.path.join(core_dir, "fine.h"), "w",
+                  encoding="utf-8") as f:
+            f.write('#include "hash/bad_map.h"\n')
+        violations, observed = check_tree(root)
+        expected = os.path.join("src", "hash", "bad_map.h") + ":3:"
+        if not any(v.startswith(expected) and "'core'" in v
+                   for v in violations):
+            failures.append(
+                "planted back-edge not reported with file:line; got: %r"
+                % violations)
+        if len(violations) != 1:
+            failures.append("expected exactly 1 violation, got %r"
+                            % violations)
+        # The hash -> core edge must also appear in the observed graph.
+        if "core" not in observed.get("hash", set()):
+            failures.append("observed edge map missing hash -> core: %r"
+                            % observed)
+
+    with tempfile.TemporaryDirectory(prefix="check_layering_") as root:
+        # Planted cycle: hash -> tree -> hash, under a permissive dep map so
+        # only the cycle detector can catch it.
+        hash_dir = os.path.join(root, "src", "hash")
+        tree_dir = os.path.join(root, "src", "tree")
+        os.makedirs(hash_dir)
+        os.makedirs(tree_dir)
+        with open(os.path.join(hash_dir, "a.h"), "w", encoding="utf-8") as f:
+            f.write('#include "tree/b.h"\n')
+        with open(os.path.join(tree_dir, "b.h"), "w", encoding="utf-8") as f:
+            f.write('#include "hash/a.h"\n')
+        permissive = {m: (None if deps is None else set(MODULE_DEPS) -
+                          set(CONSUMER_ROOTS))
+                      for m, deps in MODULE_DEPS.items()}
+        violations, observed = check_tree(root, module_deps=permissive)
+        if violations:
+            failures.append("permissive map should report no back-edges: %r"
+                            % violations)
+        cycle = find_cycle(observed)
+        if cycle is None:
+            failures.append("planted hash <-> tree cycle not detected: %r"
+                            % observed)
+        elif not (cycle[0] == cycle[-1] and
+                  {"hash", "tree"} <= set(cycle)):
+            failures.append("unexpected cycle shape: %r" % cycle)
+
+    # The declared DAG must be acyclic (guards MODULE_DEPS edits).
+    if find_cycle(declared_edges()) is not None:
+        failures.append("MODULE_DEPS contains a cycle")
+
+    if failures:
+        for failure in failures:
+            print("self-test FAILED: %s" % failure)
+        return 1
+    print("check_layering --self-test: OK (back-edge fixture reported with "
+          "file:line; cycle fixture detected)")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    return run_check(REPO_ROOT)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -32,6 +32,16 @@ the repo-specific discipline that neither can express:
                        ::operator new/delete — otherwise the arena ablation
                        silently measures the wrong allocator. Placement new
                        and `= delete`d members are fine.
+  unconstrained-typename
+                       headers under src/core/ may not declare bare
+                       `template <typename X>` / `template <class X>`
+                       parameters: the operator layer is where every
+                       pluggable role has a named contract, so parameters
+                       must use a concept (core/concepts.h, mem/allocator.h,
+                       util/tracer.h) or carry a waiver. Concept definitions
+                       themselves, core/concepts.h, non-type parameters, and
+                       the inner `<typename>` of a template-template
+                       parameter are exempt.
 
 Waivers: append `// lint:allow(rule-name): reason` to the offending line or
 the line directly above it. The reason is mandatory by convention — a waiver
@@ -237,6 +247,69 @@ def check_raw_node_alloc(relpath, stripped):
         yield (line_of(stripped, match.start()), "raw-node-alloc", message)
 
 
+TEMPLATE_INTRO_RE = re.compile(r"\btemplate\s*<")
+TYPE_PARAM_RE = re.compile(r"^\s*(typename|class)\b")
+
+
+def split_template_params(stripped, open_angle):
+    """Splits the template parameter list opening at stripped[open_angle]
+    ('<') into top-level parameters. Returns (params, end_offset) where each
+    param is (text, start_offset), or (None, open_angle) if unbalanced.
+    Tracks <> and () depth so template-template parameters and defaults like
+    `KeyOf = PairFirstKey` with nested angles stay one parameter."""
+    params = []
+    depth_angle, depth_paren = 1, 0
+    start = open_angle + 1
+    i = start
+    while i < len(stripped):
+        c = stripped[i]
+        if c == "<":
+            depth_angle += 1
+        elif c == ">":
+            depth_angle -= 1
+            if depth_angle == 0:
+                params.append((stripped[start:i], start))
+                return params, i
+        elif c == "(":
+            depth_paren += 1
+        elif c == ")":
+            depth_paren -= 1
+        elif c == "," and depth_angle == 1 and depth_paren == 0:
+            params.append((stripped[start:i], start))
+            start = i + 1
+        i += 1
+    return None, open_angle
+
+
+def check_unconstrained_typename(relpath, stripped):
+    posix = relpath.as_posix()
+    if not posix.startswith("src/core/") or relpath.suffix != ".h":
+        return
+    if relpath.name == "concepts.h":
+        return  # The vocabulary itself is built from bare typenames.
+    consumed_until = 0
+    for match in TEMPLATE_INTRO_RE.finditer(stripped):
+        if match.start() < consumed_until:
+            continue  # inner `template <typename>` of a template-template
+        open_angle = stripped.index("<", match.start())
+        params, end = split_template_params(stripped, open_angle)
+        consumed_until = end
+        if params is None:
+            continue
+        # A concept definition's parameters are the thing being constrained.
+        if stripped[end + 1:end + 40].lstrip().startswith("concept"):
+            continue
+        for text, offset in params:
+            if TYPE_PARAM_RE.match(text):
+                yield (
+                    line_of(stripped, offset + len(text) - len(text.lstrip())),
+                    "unconstrained-typename",
+                    "bare typename/class template parameter in a core "
+                    "header — constrain it with a concept "
+                    "(core/concepts.h) or waive with a reason",
+                )
+
+
 def expected_guard(relpath):
     tail = Path(*relpath.parts[1:])  # drop leading src/
     token = re.sub(r"[^A-Za-z0-9]", "_", str(tail)).upper()
@@ -274,6 +347,7 @@ RULES = (
     (LIBRARY_DIRS, check_unguarded_global),
     (LIBRARY_DIRS, check_include_guard),
     (LIBRARY_DIRS, check_raw_node_alloc),
+    (LIBRARY_DIRS, check_unconstrained_typename),
 )
 
 
@@ -373,6 +447,30 @@ FIXTURES = [
         "#ifndef WIDGET_H\n#define WIDGET_H\n#endif\n",
         "#ifndef MEMAGG_CORE_WIDGET_H_\n#define MEMAGG_CORE_WIDGET_H_\n"
         "#endif  // MEMAGG_CORE_WIDGET_H_\n",
+    ),
+    (
+        "unconstrained-typename",
+        "src/core/widget.h",
+        "template <typename Value>\nclass Widget { Value v_; };\n",
+        "template <GroupMap Map>\nclass A { Map m_; };\n"
+        "template <int kWays>\nclass B {};\n"
+        "template <typename T>\nconcept Widgety = requires(T t) { t.Spin(); };\n"
+        "template <template <typename> class MapT, AggregatePolicy Agg,\n"
+        "          Sorter S = IntrosortSorter>\nclass C {};\n"
+        "template <>\nclass B<2> {};\n",
+    ),
+    (
+        "unconstrained-typename",
+        "src/core/concepts.h",  # the vocabulary header itself is exempt
+        "",
+        "template <typename M, typename V>\nconcept Probe = true;\n"
+        "template <typename V>\nstruct ProbeVisitor {};\n",
+    ),
+    (
+        "unconstrained-typename",
+        "src/hash/widget.h",  # only core headers carry the contract rule
+        "",
+        "template <typename Value>\nclass Widget { Value v_; };\n",
     ),
 ]
 

@@ -74,10 +74,17 @@ inline void PrintBanner(const std::string& experiment,
 ///    "params": {"records": "1000000", ...},
 ///    "rows": [{"series": "Hash_LP", "x": 1000,
 ///              "cycles": 12345, "millis": 1.25,
-///              "stats": {"phases": {...}, "counters": {...}}}, ...]}
+///              "stats": {"phases": {...}, "counters": {...}},
+///              "meta": {"algorithm": "Adaptive",
+///                       "switch_trace": "local-central@0->radix@65536"}},
+///             ...]}
 ///
 /// `series` is the line label (algorithm/engine), `x` the sweep coordinate
 /// (cardinality, threads, ...), `stats` the optional QueryStats snapshot.
+/// `meta` is an optional string->string object for decision provenance: the
+/// resolved algorithm label behind an "auto"/adaptive run and its switch
+/// trace, so `tools/bench_compare.py` can diff decision quality between
+/// runs, not just timings.
 class BenchReport {
  public:
   explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
@@ -99,6 +106,13 @@ class BenchReport {
     row.millis = millis;
     if (stats != nullptr) row.stats_json = stats->ToJson();
     rows_.push_back(std::move(row));
+  }
+
+  /// Attaches a meta key/value to the most recently added row (call after
+  /// AddRow; decision provenance such as the resolved label or the adaptive
+  /// operator's switch trace).
+  void SetRowMeta(const std::string& key, const std::string& value) {
+    if (!rows_.empty()) rows_.back().meta.push_back({key, value});
   }
 
   /// Writes `BENCH_<bench>.json` in the working directory (or `path` if
@@ -130,6 +144,15 @@ class BenchReport {
       if (!row.stats_json.empty()) {
         std::fprintf(file, ", \"stats\": %s", row.stats_json.c_str());
       }
+      if (!row.meta.empty()) {
+        std::fprintf(file, ", \"meta\": {");
+        for (size_t j = 0; j < row.meta.size(); ++j) {
+          std::fprintf(file, "%s\"%s\": \"%s\"", j == 0 ? "" : ", ",
+                       JsonEscaped(row.meta[j].first).c_str(),
+                       JsonEscaped(row.meta[j].second).c_str());
+        }
+        std::fprintf(file, "}");
+      }
       std::fprintf(file, "}");
     }
     std::fprintf(file, "\n ]}\n");
@@ -145,6 +168,7 @@ class BenchReport {
     uint64_t cycles = 0;
     double millis = 0.0;
     std::string stats_json;  // Pre-rendered JSON object, or empty.
+    std::vector<std::pair<std::string, std::string>> meta;
   };
 
   static std::string JsonEscaped(const std::string& text) {

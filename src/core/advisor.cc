@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <unordered_map>
 
 namespace memagg {
@@ -81,17 +82,29 @@ size_t EstimateGroupCardinality(const uint64_t* keys, size_t n) {
     for (size_t i = 0; i < n; ++i) ++counts[keys[i]];
     return counts.size();
   }
-  // Strided deterministic sample of ~kSampleSize rows, then the GEE
+  // Strided deterministic sample of exactly kSampleSize rows, then the GEE
   // estimator (Charikar et al.): keys seen once in the sample are scaled by
   // sqrt(n/r) — they are the evidence for unseen groups — while repeated
   // keys count once.
-  const size_t stride = n / kSampleSize;
+  //
+  // The stride is nudged to be coprime with n and walked with mod-n
+  // wraparound: the naive stride n/kSampleSize resonates with cyclic key
+  // layouts (keys[i] = i mod C with gcd(stride, C) > 1 only ever visits a
+  // fraction of the residues and collapses the estimate). A coprime stride
+  // makes the walk a full cycle through [0, n), so every position — hence
+  // every residue class of any period — is reachable and the kSampleSize
+  // probe positions are distinct.
+  size_t stride = n / kSampleSize;
+  while (std::gcd(stride, n) != 1) ++stride;
   std::unordered_map<uint64_t, uint32_t> counts;
   counts.reserve(kSampleSize * 2);
   size_t sampled = 0;
-  for (size_t i = 0; i < n; i += stride) {
-    ++counts[keys[i]];
+  size_t index = 0;
+  for (size_t s = 0; s < kSampleSize; ++s) {
+    ++counts[keys[index]];
     ++sampled;
+    index += stride;
+    if (index >= n) index -= n;
   }
   size_t singletons = 0;
   for (const auto& [key, count] : counts) {

@@ -47,11 +47,16 @@ std::string ExplainRecommendation(const WorkloadProfile& profile);
 
 /// Estimates the number of distinct group keys in `keys[0..n)` from a
 /// deterministic sample (at most a few thousand probes, so the cost is
-/// negligible next to any build). Returns an estimate in [1, n] for n > 0
-/// and 0 for n == 0. Intended for pre-sizing growable structures
-/// (VectorAggregator::ReserveGroups): an overestimate wastes some table
-/// space, an underestimate merely re-enables growth, so a rough
-/// scale-up of the sample's distinct count is sufficient.
+/// negligible next to any build). Returns 0 for n == 0; for n > 0 the
+/// estimate is clamped to [1, n] (in fact to [distinct-in-sample, n]) and
+/// is exact when the input fits in the sample (n <= 4096). The GEE
+/// scale-up bounds the ratio error by sqrt(n / sample_size) in either
+/// direction — ~16x at n = 10^6 — which is the documented error band.
+/// Intended for pre-sizing growable structures
+/// (VectorAggregator::ReserveGroups) and the adaptive operator's cost
+/// models: an overestimate wastes some table space, an underestimate merely
+/// re-enables growth, so a rough scale-up of the sample's distinct count is
+/// sufficient.
 size_t EstimateGroupCardinality(const uint64_t* keys, size_t n);
 
 }  // namespace memagg

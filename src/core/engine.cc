@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include "core/adaptive_aggregator.h"
 #include "core/advisor.h"
 #include "core/concepts.h"
 #include "core/hash_aggregator.h"
@@ -76,6 +77,10 @@ std::unique_ptr<VectorAggregator> MakeForAggregate(
   }
 
   // --- Extensions beyond the paper's Table 3 ---
+  if (label == "Adaptive") {
+    return std::make_unique<AdaptiveAggregator<Aggregate>>(expected_size,
+                                                           exec);
+  }
   if (label == "Hybrid") {
     return std::make_unique<HybridVectorAggregator<Aggregate>>(expected_size,
                                                                exec);
@@ -175,6 +180,7 @@ std::unique_ptr<VectorAggregator> MakeForAggregate(
 
 AlgorithmCategory CategoryOfLabel(const std::string& label) {
   if (label == "Hybrid") return AlgorithmCategory::kHash;  // Starts hashing.
+  if (label == "Adaptive") return AlgorithmCategory::kHash;  // Ditto.
   if (label.rfind("Hash", 0) == 0) return AlgorithmCategory::kHash;
   if (label == "ART" || label == "ART_Global" || label == "Judy" ||
       label == "Btree" || label == "Ttree") {

@@ -10,12 +10,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #include "core/aggregate.h"
 #include "core/concepts.h"
+#include "core/migratable.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
+#include "util/macros.h"
 
 namespace memagg {
 
@@ -26,9 +29,11 @@ namespace memagg {
 /// must model GroupMap (core/concepts.h).
 template <template <typename> class MapT, AggregatePolicy Aggregate>
   requires GroupMap<MapT<typename Aggregate::State>, typename Aggregate::State>
-class HashVectorAggregator final : public VectorAggregator {
+class HashVectorAggregator final : public VectorAggregator,
+                                   public MigratableAggregator<Aggregate> {
  public:
   using State = typename Aggregate::State;
+  using Partial = PartialAggState<Aggregate>;
 
   /// `expected_size` pre-sizes the table. The paper assumes only the dataset
   /// size is known (cardinality estimation is unreliable), so callers pass
@@ -64,6 +69,48 @@ class HashVectorAggregator final : public VectorAggregator {
     return result;
   }
 
+  // --- MigratableAggregator (core/migratable.h) -----------------------------
+  // Single-worker strategy: the adaptive operator only dispatches to it with
+  // one worker, so ConsumeMorsel never runs concurrently with itself.
+
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m) override {
+    Build(keys + m.begin, values == nullptr ? nullptr : values + m.begin,
+          m.end - m.begin);
+    rows_consumed_ += m.end - m.begin;
+  }
+
+  ProgressSnapshot Progress() const override {
+    return {rows_consumed_, map_.size(), map_.MemoryBytes()};
+  }
+
+  Partial ExtractPartialState() override {
+    Partial out;
+    out.partials.reserve(map_.size());
+    map_.ForEach([&out](uint64_t key, const State& state) {
+      out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
+    });
+    out.rows = rows_consumed_;
+    rows_consumed_ = 0;
+    return out;
+  }
+
+  void AbsorbPartialState(Partial&& partial) override {
+    for (auto& [key, state] : partial.partials) {
+      if constexpr (MergeableAggregatePolicy<Aggregate>) {
+        Aggregate::Merge(map_.GetOrInsert(key), state);
+      } else {
+        MEMAGG_CHECK(false && "aggregate has no Merge; cannot absorb partials");
+      }
+    }
+    for (const auto& [key, value] : partial.records) {
+      Aggregate::Update(map_.GetOrInsert(key), value);
+    }
+    rows_consumed_ += partial.rows;
+  }
+
+  VectorResult Finish() override { return Iterate(); }
+
   size_t NumGroups() const override { return map_.size(); }
 
   size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
@@ -97,6 +144,7 @@ class HashVectorAggregator final : public VectorAggregator {
 
  private:
   MapT<State> map_;
+  uint64_t rows_consumed_ = 0;  ///< Morsel-path rows (Progress reporting).
 };
 
 }  // namespace memagg

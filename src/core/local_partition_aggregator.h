@@ -20,10 +20,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/aggregate.h"
 #include "core/concepts.h"
+#include "core/migratable.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -33,15 +35,27 @@
 
 namespace memagg {
 
+/// How LocalPartitionAggregator combines its per-worker tables at iterate
+/// time. kCentral merges every table into the first serially (cheap when
+/// groups are few); kTree merges disjoint pairs in parallel rounds, halving
+/// the table count per round (log2(workers) parallel rounds — wins when the
+/// per-table group count is large enough that one thread's merge dominates).
+enum class LocalMergeMode { kCentral, kTree };
+
 /// Independent worker-local tables, merged at iterate time — which is why
 /// the aggregate must be mergeable.
 template <MergeableAggregatePolicy Aggregate>
-class LocalPartitionAggregator final : public VectorAggregator {
+class LocalPartitionAggregator final : public VectorAggregator,
+                                       public MigratableAggregator<Aggregate> {
  public:
   using State = typename Aggregate::State;
+  using Partial = PartialAggState<Aggregate>;
 
-  LocalPartitionAggregator(size_t expected_size, ExecutionContext exec)
-      : exec_(exec) {
+  LocalPartitionAggregator(size_t expected_size, ExecutionContext exec,
+                           LocalMergeMode merge_mode = LocalMergeMode::kCentral)
+      : exec_(exec),
+        merge_mode_(merge_mode),
+        rows_consumed_(Executor(exec_).num_workers()) {
     const int num_workers = Executor(exec_).num_workers();
     locals_.reserve(static_cast<size_t>(num_workers));
     for (int t = 0; t < num_workers; ++t) {
@@ -49,6 +63,11 @@ class LocalPartitionAggregator final : public VectorAggregator {
           expected_size / static_cast<size_t>(num_workers) + 1));
     }
   }
+
+  /// The merge mode only matters at iterate time, so the adaptive operator
+  /// can flip it mid-build without touching the tables — a "switch" between
+  /// the central-merge and tree-merge strategies migrates no state.
+  void set_merge_mode(LocalMergeMode merge_mode) { merge_mode_ = merge_mode; }
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
@@ -60,22 +79,16 @@ class LocalPartitionAggregator final : public VectorAggregator {
   }
 
   VectorResult Iterate() override {
-    // Merge all thread-local tables into the first.
-    PhaseTimer merge_timer(&stats_, StatPhase::kMerge);
-    LinearProbingMap<State>& merged = *locals_[0];
-    for (size_t t = 1; t < locals_.size(); ++t) {
-      if (locals_[t]->size() > 0) {
-        stats_.Add(StatCounter::kMergeRounds, 1);
+    // Merge the thread-local tables into the first, per the merge mode.
+    {
+      PhaseTimer merge_timer(&stats_, StatPhase::kMerge);
+      if (merge_mode_ == LocalMergeMode::kCentral) {
+        MergeCentral();
+      } else {
+        MergeTree();
       }
-      locals_[t]->ForEach([&merged](uint64_t key, const State& state) {
-        Aggregate::Merge(merged.GetOrInsert(key), const_cast<State&>(state));
-      });
-      // Free the merged-away table eagerly. Move-assignment releases the old
-      // table's slots and its arena chunks wholesale — one deallocation per
-      // partition, not one per entry.
-      *locals_[t] = LinearProbingMap<State>(2);
     }
-    merge_timer.Stop();
+    LinearProbingMap<State>& merged = *locals_[0];
     VectorResult result;
     result.reserve(merged.size());
     merged.ForEach([&result](uint64_t key, const State& state) {
@@ -83,6 +96,51 @@ class LocalPartitionAggregator final : public VectorAggregator {
     });
     return result;
   }
+
+  // --- MigratableAggregator (core/migratable.h) -----------------------------
+
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m) override {
+    BuildSlice(m.worker, keys, values, m.begin, m.end);
+    rows_consumed_[m.worker] += m.end - m.begin;
+  }
+
+  ProgressSnapshot Progress() const override {
+    uint64_t rows = 0;
+    for (int w = 0; w < rows_consumed_.size(); ++w) rows += rows_consumed_[w];
+    return {rows, NumGroups(), DataStructureBytes()};
+  }
+
+  Partial ExtractPartialState() override {
+    Partial out;
+    for (int w = 0; w < rows_consumed_.size(); ++w) {
+      out.rows += rows_consumed_[w];
+      rows_consumed_[w] = 0;
+    }
+    // Keys present in several worker tables appear once per table; the
+    // absorber's Merge recombines them, so no pre-merge pass is needed.
+    out.partials.reserve(NumGroups());
+    for (auto& local : locals_) {
+      local->ForEach([&out](uint64_t key, const State& state) {
+        out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
+      });
+      *local = LinearProbingMap<State>(2);
+    }
+    return out;
+  }
+
+  void AbsorbPartialState(Partial&& partial) override {
+    LinearProbingMap<State>& local = *locals_[0];
+    for (auto& [key, state] : partial.partials) {
+      Aggregate::Merge(local.GetOrInsert(key), state);
+    }
+    for (const auto& [key, value] : partial.records) {
+      Aggregate::Update(local.GetOrInsert(key), value);
+    }
+    rows_consumed_[0] += partial.rows;
+  }
+
+  VectorResult Finish() override { return Iterate(); }
 
   size_t NumGroups() const override {
     // Before the merge this is an upper bound; exact after Iterate().
@@ -125,7 +183,52 @@ class LocalPartitionAggregator final : public VectorAggregator {
     }
   }
 
+  /// Folds `from` into `into` and frees the merged-away table eagerly.
+  /// Move-assignment releases the old table's slots and its arena chunks
+  /// wholesale — one deallocation per partition, not one per entry.
+  static void MergeInto(LinearProbingMap<State>& into,
+                        LinearProbingMap<State>& from) {
+    from.ForEach([&into](uint64_t key, const State& state) {
+      Aggregate::Merge(into.GetOrInsert(key), const_cast<State&>(state));
+    });
+    from = LinearProbingMap<State>(2);
+  }
+
+  void MergeCentral() {
+    for (size_t t = 1; t < locals_.size(); ++t) {
+      if (locals_[t]->size() > 0) {
+        stats_.Add(StatCounter::kMergeRounds, 1);
+      }
+      MergeInto(*locals_[0], *locals_[t]);
+    }
+  }
+
+  void MergeTree() {
+    // Round r merges table t+stride into table t; the pairs of one round are
+    // disjoint, so each round runs in parallel (grain 1). log2(workers)
+    // rounds total, versus (workers-1) serial table walks for kCentral.
+    Executor executor(exec_);
+    for (size_t stride = 1; stride < locals_.size(); stride *= 2) {
+      std::vector<std::pair<size_t, size_t>> pairs;
+      for (size_t t = 0; t + stride < locals_.size(); t += 2 * stride) {
+        pairs.emplace_back(t, t + stride);
+      }
+      if (pairs.empty()) continue;
+      stats_.Add(StatCounter::kMergeRounds, 1);
+      executor.ParallelFor(
+          pairs.size(),
+          [&](const Morsel& m) {
+            for (size_t i = m.begin; i < m.end; ++i) {
+              MergeInto(*locals_[pairs[i].first], *locals_[pairs[i].second]);
+            }
+          },
+          /*grain=*/1);
+    }
+  }
+
   ExecutionContext exec_;
+  LocalMergeMode merge_mode_;
+  WorkerLocal<uint64_t> rows_consumed_;  ///< Morsel-path rows, per worker.
   std::vector<std::unique_ptr<LinearProbingMap<State>>> locals_;
   QueryStats stats_;  // Merge-subphase timing and merge-round counts.
 };

@@ -21,6 +21,18 @@ namespace memagg {
 
 struct QueryStats;  // obs/query_stats.h
 
+/// Cheap point-in-time progress report from an aggregation operator, used by
+/// the adaptive operator's cost models (core/adaptive_aggregator.h). All
+/// three fields must be O(workers) to compute — never O(rows) or O(groups):
+/// the adaptive operator polls this at every morsel-chunk barrier.
+struct ProgressSnapshot {
+  uint64_t rows = 0;    ///< Input rows consumed so far.
+  uint64_t groups = 0;  ///< Distinct groups materialized so far (upper bound
+                        ///< for per-worker structures before their merge).
+  uint64_t bytes = 0;   ///< Bytes held by the operator's data structures
+                        ///< (arena-backed containers report reserved bytes).
+};
+
 /// Operator for vector (GROUP BY) aggregation queries.
 class VectorAggregator {
  public:

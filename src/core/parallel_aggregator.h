@@ -27,6 +27,7 @@
 
 #include "core/aggregate.h"
 #include "core/concepts.h"
+#include "core/migratable.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -324,14 +325,18 @@ class CuckooParallelAggregator final : public VectorAggregator {
 /// linear-probing maps (see hash/striped_map.h). Updates run under the
 /// stripe lock, so plain aggregate policies work unchanged.
 template <AggregatePolicy Aggregate>
-class StripedParallelAggregator final : public VectorAggregator {
+class StripedParallelAggregator final : public VectorAggregator,
+                                        public MigratableAggregator<Aggregate> {
  public:
   using State = typename Aggregate::State;
+  using Partial = PartialAggState<Aggregate>;
   static_assert(
       ConcurrentGroupMap<StripedMap<LinearProbingMap<State>>, State>);
 
   StripedParallelAggregator(size_t expected_size, ExecutionContext exec)
-      : map_(expected_size), exec_(exec) {}
+      : map_(expected_size),
+        exec_(exec),
+        rows_consumed_(Executor(exec).num_workers()) {}
 
   void Build(const uint64_t* keys, const uint64_t* values,
              size_t n) override {
@@ -353,6 +358,59 @@ class StripedParallelAggregator final : public VectorAggregator {
     return result;
   }
 
+  // --- MigratableAggregator (core/migratable.h) -----------------------------
+  // The shared-map strategy: every worker upserts into the one striped table,
+  // so there is no merge phase at all — ConsumeMorsel is just the Build body,
+  // and Finish() is a plain iterate.
+
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m) override {
+    for (size_t i = m.begin; i < m.end; ++i) {
+      const uint64_t value =
+          Aggregate::kNeedsValues && values != nullptr ? values[i] : 0;
+      map_.Upsert(keys[i],
+                  [value](State& state) { Aggregate::Update(state, value); });
+    }
+    rows_consumed_[m.worker] += m.end - m.begin;
+  }
+
+  ProgressSnapshot Progress() const override {
+    uint64_t rows = 0;
+    for (int w = 0; w < rows_consumed_.size(); ++w) rows += rows_consumed_[w];
+    return {rows, map_.size(), map_.MemoryBytes()};
+  }
+
+  Partial ExtractPartialState() override {
+    Partial out;
+    out.partials.reserve(map_.size());
+    map_.ForEach([&out](uint64_t key, const State& state) {
+      out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
+    });
+    for (int w = 0; w < rows_consumed_.size(); ++w) {
+      out.rows += rows_consumed_[w];
+      rows_consumed_[w] = 0;
+    }
+    return out;
+  }
+
+  void AbsorbPartialState(Partial&& partial) override {
+    for (auto& [key, state] : partial.partials) {
+      if constexpr (MergeableAggregatePolicy<Aggregate>) {
+        State& from = state;
+        map_.Upsert(key, [&from](State& into) { Aggregate::Merge(into, from); });
+      } else {
+        MEMAGG_CHECK(false && "aggregate has no Merge; cannot absorb partials");
+      }
+    }
+    for (const auto& [key, value] : partial.records) {
+      map_.Upsert(key,
+                  [value](State& state) { Aggregate::Update(state, value); });
+    }
+    rows_consumed_[0] += partial.rows;
+  }
+
+  VectorResult Finish() override { return Iterate(); }
+
   size_t NumGroups() const override { return map_.size(); }
 
   size_t DataStructureBytes() const override { return map_.MemoryBytes(); }
@@ -372,6 +430,7 @@ class StripedParallelAggregator final : public VectorAggregator {
  private:
   StripedMap<LinearProbingMap<State>> map_;
   ExecutionContext exec_;
+  WorkerLocal<uint64_t> rows_consumed_;  ///< Morsel-path rows, per worker.
 };
 
 }  // namespace memagg

@@ -25,6 +25,7 @@
 
 #include "core/aggregate.h"
 #include "core/concepts.h"
+#include "core/migratable.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "exec/executor.h"
@@ -40,9 +41,11 @@ namespace memagg {
 /// disjoint, so no state merging happens and any aggregate policy works
 /// (the paper's route to parallel holistic aggregation).
 template <AggregatePolicy Aggregate>
-class RadixPartitionAggregator final : public VectorAggregator {
+class RadixPartitionAggregator final : public VectorAggregator,
+                                       public MigratableAggregator<Aggregate> {
  public:
   using State = typename Aggregate::State;
+  using Partial = PartialAggState<Aggregate>;
 
   RadixPartitionAggregator(size_t expected_size, ExecutionContext exec)
       : exec_(exec),
@@ -138,6 +141,117 @@ class RadixPartitionAggregator final : public VectorAggregator {
     return result;
   }
 
+  // --- MigratableAggregator (core/migratable.h) -----------------------------
+  // The fixed Build above needs the whole input up front (histogram pass).
+  // The morsel path instead routes rows *incrementally*: worker w aggregates
+  // partition p's keys into a private table incr_[w * P + p] — each table
+  // covers 1/P of the key space, so it stays cache-resident; Finish() merges
+  // the worker copies of each partition in parallel (disjoint key ranges).
+
+  void BeginConsume(int num_workers, size_t expected_rows) override {
+    MEMAGG_CHECK(incr_.empty() && "BeginConsume is once-only");
+    incr_workers_ = num_workers;
+    incr_rows_ = std::make_unique<WorkerLocal<uint64_t>>(num_workers);
+    const size_t tables = static_cast<size_t>(num_workers) * num_partitions_;
+    incr_.reserve(tables);
+    for (size_t t = 0; t < tables; ++t) {
+      incr_.push_back(std::make_unique<LinearProbingMap<State>>(
+          expected_rows / tables + 1));
+    }
+  }
+
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m) override {
+    const size_t base = static_cast<size_t>(m.worker) * num_partitions_;
+    for (size_t i = m.begin; i < m.end; ++i) {
+      const uint64_t value =
+          Aggregate::kNeedsValues && values != nullptr ? values[i] : 0;
+      LinearProbingMap<State>& table = *incr_[base + PartitionOf(keys[i])];
+      Aggregate::Update(table.GetOrInsert(keys[i]), value);
+    }
+    (*incr_rows_)[m.worker] += m.end - m.begin;
+  }
+
+  ProgressSnapshot Progress() const override {
+    ProgressSnapshot snapshot;
+    if (incr_rows_ != nullptr) {
+      for (int w = 0; w < incr_rows_->size(); ++w) {
+        snapshot.rows += (*incr_rows_)[w];
+      }
+    }
+    for (const auto& table : incr_) {
+      snapshot.groups += table->size();  // Upper bound across worker copies.
+      snapshot.bytes += table->MemoryBytes();
+    }
+    return snapshot;
+  }
+
+  Partial ExtractPartialState() override {
+    Partial out;
+    if (incr_rows_ != nullptr) {
+      for (int w = 0; w < incr_rows_->size(); ++w) {
+        out.rows += (*incr_rows_)[w];
+        (*incr_rows_)[w] = 0;
+      }
+    }
+    for (auto& table : incr_) {
+      table->ForEach([&out](uint64_t key, const State& state) {
+        out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
+      });
+    }
+    incr_.clear();
+    return out;
+  }
+
+  void AbsorbPartialState(Partial&& partial) override {
+    MEMAGG_CHECK(!incr_.empty() && "call BeginConsume first");
+    for (auto& [key, state] : partial.partials) {
+      LinearProbingMap<State>& table = *incr_[PartitionOf(key)];
+      if constexpr (MergeableAggregatePolicy<Aggregate>) {
+        Aggregate::Merge(table.GetOrInsert(key), state);
+      } else {
+        MEMAGG_CHECK(false && "aggregate has no Merge; cannot absorb partials");
+      }
+    }
+    for (const auto& [key, value] : partial.records) {
+      LinearProbingMap<State>& table = *incr_[PartitionOf(key)];
+      Aggregate::Update(table.GetOrInsert(key), value);
+    }
+    (*incr_rows_)[0] += partial.rows;
+  }
+
+  VectorResult Finish() override {
+    if (incr_.empty()) return Iterate();
+    // Fold every worker's copy of partition p into partitions_[p]; the
+    // per-partition key ranges are disjoint, so partitions merge in parallel.
+    if (incr_workers_ > 1) stats_.Add(StatCounter::kMergeRounds, 1);
+    Executor(exec_).ParallelFor(
+        num_partitions_,
+        [&](const Morsel& m) {
+          for (size_t p = m.begin; p < m.end; ++p) {
+            LinearProbingMap<State>& into = *partitions_[p];
+            for (int w = 0; w < incr_workers_; ++w) {
+              LinearProbingMap<State>& from =
+                  *incr_[static_cast<size_t>(w) * num_partitions_ + p];
+              from.ForEach([&into](uint64_t key, const State& state) {
+                if constexpr (MergeableAggregatePolicy<Aggregate>) {
+                  Aggregate::Merge(into.GetOrInsert(key),
+                                   const_cast<State&>(state));
+                } else {
+                  MEMAGG_CHECK(false &&
+                               "aggregate has no Merge; cannot finish the "
+                               "incremental radix path");
+                }
+              });
+              from = LinearProbingMap<State>(2);
+            }
+          }
+        },
+        /*grain=*/1);
+    incr_.clear();
+    return Iterate();
+  }
+
   size_t NumGroups() const override {
     size_t total = 0;
     for (const auto& partition : partitions_) total += partition->size();
@@ -173,6 +287,10 @@ class RadixPartitionAggregator final : public VectorAggregator {
   ExecutionContext exec_;
   size_t num_partitions_;
   std::vector<std::unique_ptr<LinearProbingMap<State>>> partitions_;
+  // Migratable-path tables: worker w, partition p at incr_[w * P + p].
+  std::vector<std::unique_ptr<LinearProbingMap<State>>> incr_;
+  std::unique_ptr<WorkerLocal<uint64_t>> incr_rows_;
+  int incr_workers_ = 0;
   QueryStats stats_;  // Partition-subphase timing (histogram + scatter).
 };
 

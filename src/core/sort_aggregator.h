@@ -11,17 +11,22 @@
 #ifndef MEMAGG_CORE_SORT_AGGREGATOR_H_
 #define MEMAGG_CORE_SORT_AGGREGATOR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/aggregate.h"
 #include "core/concepts.h"
+#include "core/migratable.h"
 #include "core/operator.h"
 #include "core/result.h"
+#include "exec/executor.h"
 #include "obs/query_stats.h"
 #include "sort/sort_common.h"
+#include "util/macros.h"
 #include "util/tracer.h"
 
 namespace memagg {
@@ -33,8 +38,11 @@ namespace memagg {
 /// sim/traced_engine.h).
 template <Sorter SorterT, AggregatePolicy Aggregate,
           MemoryTracer Tracer = NullTracer>
-class SortVectorAggregator final : public VectorAggregator {
+class SortVectorAggregator final : public VectorAggregator,
+                                   public MigratableAggregator<Aggregate> {
  public:
+  using Partial = PartialAggState<Aggregate>;
+
   explicit SortVectorAggregator(SorterT sorter = SorterT{})
       : sorter_(std::move(sorter)) {}
 
@@ -90,6 +98,129 @@ class SortVectorAggregator final : public VectorAggregator {
   }
 
   VectorResult Iterate() override { return IterateImpl(0, ~0ULL); }
+
+  // --- MigratableAggregator (core/migratable.h) -----------------------------
+  // Morsel-path consumption only buffers (key, value) records per worker —
+  // no aggregation work happens until Finish(), which sorts the gathered
+  // buffers and merge-joins them with any partial states absorbed from a
+  // predecessor hash strategy (the hybrid operator's SortedIterate shape).
+
+  void BeginConsume(int num_workers, size_t expected_rows) override {
+    MEMAGG_CHECK(consume_buffers_ == nullptr && "BeginConsume is once-only");
+    consume_buffers_ = std::make_unique<WorkerLocal<RecordVec>>(num_workers);
+    const size_t per_worker =
+        expected_rows / static_cast<size_t>(num_workers) + 1;
+    consume_buffers_->ForEach(
+        [per_worker](RecordVec& buf) { buf.reserve(per_worker); });
+  }
+
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m) override {
+    RecordVec& buf = (*consume_buffers_)[m.worker];
+    for (size_t i = m.begin; i < m.end; ++i) {
+      buf.emplace_back(keys[i], values == nullptr ? 0 : values[i]);
+    }
+  }
+
+  ProgressSnapshot Progress() const override {
+    ProgressSnapshot snapshot;
+    snapshot.rows = partial_rows_;
+    snapshot.bytes =
+        absorbed_.capacity() * sizeof(typename AbsorbedVec::value_type);
+    if (consume_buffers_ != nullptr) {
+      for (int w = 0; w < consume_buffers_->size(); ++w) {
+        snapshot.rows += (*consume_buffers_)[w].size();
+        snapshot.bytes += (*consume_buffers_)[w].capacity() *
+                          sizeof(std::pair<uint64_t, uint64_t>);
+      }
+    }
+    snapshot.groups = 0;  // Unknown until the sort; 0 means "no estimate".
+    return snapshot;
+  }
+
+  Partial ExtractPartialState() override {
+    Partial out;
+    if (consume_buffers_ != nullptr) {
+      size_t total = 0;
+      consume_buffers_->ForEach(
+          [&total](RecordVec& buf) { total += buf.size(); });
+      out.records.reserve(total);
+      consume_buffers_->ForEach([&out](RecordVec& buf) {
+        out.records.insert(out.records.end(), buf.begin(), buf.end());
+        RecordVec().swap(buf);
+      });
+    }
+    out.partials = std::move(absorbed_);
+    absorbed_.clear();
+    out.rows = out.records.size() + partial_rows_;
+    partial_rows_ = 0;
+    return out;
+  }
+
+  void AbsorbPartialState(Partial&& partial) override {
+    MEMAGG_CHECK(consume_buffers_ != nullptr && "call BeginConsume first");
+    RecordVec& buf = (*consume_buffers_)[0];
+    buf.insert(buf.end(), partial.records.begin(), partial.records.end());
+    partial_rows_ += partial.rows - partial.records.size();
+    absorbed_.reserve(absorbed_.size() + partial.partials.size());
+    for (auto& entry : partial.partials) {
+      absorbed_.push_back(std::move(entry));
+    }
+  }
+
+  VectorResult Finish() override {
+    RecordVec records;
+    if (consume_buffers_ != nullptr) {
+      size_t total = 0;
+      consume_buffers_->ForEach(
+          [&total](RecordVec& buf) { total += buf.size(); });
+      records.reserve(total);
+      consume_buffers_->ForEach([&records](RecordVec& buf) {
+        records.insert(records.end(), buf.begin(), buf.end());
+        RecordVec().swap(buf);
+      });
+    }
+    {
+      PhaseTimer sort_timer(&stats_, StatPhase::kSort);
+      sorter_(records.data(), records.data() + records.size(), PairFirstKey{});
+    }
+    stats_.Add(StatCounter::kRowsSorted, records.size());
+    // Partials sort by key so the scan below is a linear merge-join;
+    // duplicate keys (one per predecessor worker table) coalesce via Merge.
+    std::sort(absorbed_.begin(), absorbed_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+
+    VectorResult result;
+    size_t pi = 0;
+    auto emit_partials_below = [&](uint64_t bound, bool inclusive) {
+      while (pi < absorbed_.size() &&
+             (absorbed_[pi].first < bound ||
+              (inclusive && absorbed_[pi].first == bound))) {
+        const uint64_t key = absorbed_[pi].first;
+        typename Aggregate::State state = std::move(absorbed_[pi].second);
+        ++pi;
+        MergeSameKeyPartials(key, &state, &pi);
+        result.push_back({key, Aggregate::Finalize(state)});
+      }
+    };
+    const size_t n = records.size();
+    size_t run_start = 0;
+    while (run_start < n) {
+      const uint64_t key = records[run_start].first;
+      size_t run_end = run_start + 1;
+      while (run_end < n && records[run_end].first == key) ++run_end;
+      emit_partials_below(key, /*inclusive=*/false);
+      typename Aggregate::State state{};
+      for (size_t i = run_start; i < run_end; ++i) {
+        Aggregate::Update(state, records[i].second);
+      }
+      MergeSameKeyPartials(key, &state, &pi);
+      result.push_back({key, Aggregate::Finalize(state)});
+      run_start = run_end;
+    }
+    emit_partials_below(~0ULL, /*inclusive=*/true);
+    return result;
+  }
 
   /// Sorted data admits range filtering by scanning the bounded subrange;
   /// exposed for completeness (the paper's Q7 focuses on trees).
@@ -187,11 +318,34 @@ class SortVectorAggregator final : public VectorAggregator {
     }
   }
 
+  using RecordVec = std::vector<std::pair<uint64_t, uint64_t>>;
+  using AbsorbedVec =
+      std::vector<std::pair<uint64_t, typename Aggregate::State>>;
+
+  /// Folds every absorbed partial whose key equals `key` into `state`,
+  /// advancing `*pi` past them. Requires absorbed_ sorted by key.
+  void MergeSameKeyPartials(uint64_t key, typename Aggregate::State* state,
+                            size_t* pi) {
+    while (*pi < absorbed_.size() && absorbed_[*pi].first == key) {
+      if constexpr (MergeableAggregatePolicy<Aggregate>) {
+        Aggregate::Merge(*state, absorbed_[*pi].second);
+      } else {
+        MEMAGG_CHECK(false && "aggregate has no Merge; cannot absorb partials");
+      }
+      ++*pi;
+    }
+  }
+
   SorterT sorter_;
   std::vector<uint64_t> keys_;
   std::vector<std::pair<uint64_t, uint64_t>> records_;
   std::vector<uint64_t> run_values_;  // Scratch for holistic runs.
-  QueryStats stats_;                  // Sort-kernel subphase + row counts.
+  // Migratable-path state: per-worker record buffers and partial states
+  // absorbed from a predecessor strategy (merged at Finish).
+  std::unique_ptr<WorkerLocal<RecordVec>> consume_buffers_;
+  AbsorbedVec absorbed_;
+  uint64_t partial_rows_ = 0;  ///< Rows represented by absorbed_ partials.
+  QueryStats stats_;           // Sort-kernel subphase + row counts.
 };
 
 }  // namespace memagg

@@ -10,12 +10,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #include "core/aggregate.h"
 #include "core/concepts.h"
+#include "core/migratable.h"
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
+#include "util/macros.h"
 
 namespace memagg {
 
@@ -26,9 +29,11 @@ namespace memagg {
 template <template <typename> class TreeT, AggregatePolicy Aggregate>
   requires OrderedGroupStore<TreeT<typename Aggregate::State>,
                              typename Aggregate::State>
-class TreeVectorAggregator final : public VectorAggregator {
+class TreeVectorAggregator final : public VectorAggregator,
+                                   public MigratableAggregator<Aggregate> {
  public:
   using State = typename Aggregate::State;
+  using Partial = PartialAggState<Aggregate>;
 
   /// Trees grow dynamically with the data (paper Section 3.3); no
   /// pre-sizing is needed or possible.
@@ -65,6 +70,51 @@ class TreeVectorAggregator final : public VectorAggregator {
     });
     return result;
   }
+
+  // --- MigratableAggregator (core/migratable.h) -----------------------------
+  // Single-worker strategy, like the hash operator: ConsumeMorsel never runs
+  // concurrently with itself.
+
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m) override {
+    Build(keys + m.begin, values == nullptr ? nullptr : values + m.begin,
+          m.end - m.begin);
+    rows_consumed_ += m.end - m.begin;
+  }
+
+  ProgressSnapshot Progress() const override {
+    return {rows_consumed_, tree_.size(), tree_.MemoryBytes()};
+  }
+
+  Partial ExtractPartialState() override {
+    // Trees are not movable, so extraction moves the States out and leaves
+    // the (drained) node skeleton behind — only destruction is valid
+    // afterwards, per the interface contract.
+    Partial out;
+    out.partials.reserve(tree_.size());
+    tree_.ForEach([&out](uint64_t key, const State& state) {
+      out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
+    });
+    out.rows = rows_consumed_;
+    rows_consumed_ = 0;
+    return out;
+  }
+
+  void AbsorbPartialState(Partial&& partial) override {
+    for (auto& [key, state] : partial.partials) {
+      if constexpr (MergeableAggregatePolicy<Aggregate>) {
+        Aggregate::Merge(tree_.GetOrInsert(key), state);
+      } else {
+        MEMAGG_CHECK(false && "aggregate has no Merge; cannot absorb partials");
+      }
+    }
+    for (const auto& [key, value] : partial.records) {
+      Aggregate::Update(tree_.GetOrInsert(key), value);
+    }
+    rows_consumed_ += partial.rows;
+  }
+
+  VectorResult Finish() override { return Iterate(); }
 
   size_t NumGroups() const override { return tree_.size(); }
 
@@ -104,6 +154,7 @@ class TreeVectorAggregator final : public VectorAggregator {
 
  private:
   TreeT<State> tree_;
+  uint64_t rows_consumed_ = 0;  ///< Morsel-path rows (Progress reporting).
 };
 
 }  // namespace memagg

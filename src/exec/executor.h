@@ -124,10 +124,26 @@ class Executor {
   void ParallelFor(size_t n, Fn&& fn, size_t grain = 0) {
     if (n == 0) return;
     if (grain == 0) grain = MorselRows(n);
-    const size_t num_morsels = NumMorselsFor(n, grain);
+    ParallelForMorsels(n, 0, NumMorselsFor(n, grain), std::forward<Fn>(fn),
+                       grain);
+  }
+
+  /// Runs fn over the morsel-index sub-range [first_morsel, last_morsel) of
+  /// the (n, grain) grid — morsel indices and row spans are those of the full
+  /// grid. This is the adaptive operator's re-dispatch primitive: after a
+  /// strategy switch at a chunk barrier, the remaining morsels are dispatched
+  /// to the new strategy without renumbering the grid. `grain` must be the
+  /// grain the grid was laid out with (non-zero).
+  template <typename Fn>
+  void ParallelForMorsels(size_t n, size_t first_morsel, size_t last_morsel,
+                          Fn&& fn, size_t grain) {
+    MEMAGG_CHECK(grain != 0);
+    last_morsel = std::min(last_morsel, NumMorselsFor(n, grain));
+    if (first_morsel >= last_morsel) return;
+    const size_t num_morsels = last_morsel - first_morsel;
     const int workers = static_cast<int>(std::min<size_t>(
         static_cast<size_t>(ctx_.num_threads), num_morsels));
-    MorselCursor cursor(n, grain);
+    MorselCursor cursor(n, grain, first_morsel, last_morsel);
     if (workers <= 1) {
       // Serial fallthrough: the caller does everything, touching no pool.
       Morsel morsel;

@@ -54,7 +54,17 @@ inline size_t NumMorselsFor(size_t n, size_t grain) {
 class MorselCursor {
  public:
   MorselCursor(size_t n, size_t grain)
-      : n_(n), grain_(grain), num_morsels_(NumMorselsFor(n, grain)) {}
+      : MorselCursor(n, grain, 0, NumMorselsFor(n, grain)) {}
+
+  /// Cursor over the sub-range [first_morsel, last_morsel) of the (n, grain)
+  /// grid. Morsel indices and row spans are those of the full grid, so side
+  /// arrays indexed by Morsel::index keep working — this is how the adaptive
+  /// operator re-dispatches the remaining morsels after a strategy switch.
+  MorselCursor(size_t n, size_t grain, size_t first_morsel, size_t last_morsel)
+      : n_(n),
+        grain_(grain),
+        num_morsels_(std::min(last_morsel, NumMorselsFor(n, grain))),
+        next_(first_morsel) {}
 
   size_t num_morsels() const { return num_morsels_; }
   size_t grain() const { return grain_; }

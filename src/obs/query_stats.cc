@@ -15,7 +15,8 @@ constexpr const char* kCounterNames[kNumStatCounters] = {
     "hybrid_spills", "rows_sorted",   "tree_nodes",     "tree_height",
     "partitions",    "merge_rounds",  "morsels_claimed", "workers_used",
     "arena_chunks",  "arena_bytes_reserved", "arena_bytes_used",
-    "arena_bytes_wasted", "freelist_reuses", "rehashes_saved"};
+    "arena_bytes_wasted", "freelist_reuses", "rehashes_saved",
+    "strategy_switches", "rows_migrated", "adaptive_strategy"};
 
 bool MergesByMax(StatCounter counter) {
   switch (counter) {
@@ -23,6 +24,7 @@ bool MergesByMax(StatCounter counter) {
     case StatCounter::kChainMax:
     case StatCounter::kTreeHeight:
     case StatCounter::kWorkersUsed:
+    case StatCounter::kAdaptiveStrategy:
       return true;
     default:
       return false;

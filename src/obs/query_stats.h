@@ -78,8 +78,11 @@ enum class StatCounter : size_t {
   kArenaBytesWasted,   ///< Stranded chunk tails + freed-in-place bytes.
   kFreelistReuses,     ///< Allocations served from allocator freelists.
   kRehashesSaved,      ///< Rehashes avoided by cardinality-driven Reserve().
+  kStrategySwitches,   ///< Adaptive operator mid-query strategy switches.
+  kRowsMigrated,       ///< Rows' worth of partial state moved across a switch.
+  kAdaptiveStrategy,   ///< Final adaptive strategy id + 1 (max-merged).
 };
-inline constexpr size_t kNumStatCounters = 22;
+inline constexpr size_t kNumStatCounters = 25;
 
 /// Stable lowercase identifier (JSON key) for a phase / counter.
 const char* StatPhaseName(StatPhase phase);

@@ -1,6 +1,7 @@
 #include "sim/cache_model.h"
 
 #include "util/bits.h"
+#include "util/cpu_cache.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -24,6 +25,12 @@ size_t SetsForTlb(int entries, int associativity) {
 }
 
 }  // namespace
+
+CacheHierarchyConfig DetectedCacheHierarchyConfig() {
+  CacheHierarchyConfig config;
+  config.l3.size_bytes = DetectedL3CacheBytes();
+  return config;
+}
 
 SetAssociativeCache::SetAssociativeCache(size_t num_sets, int associativity)
     : num_sets_(num_sets),

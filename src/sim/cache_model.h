@@ -60,6 +60,12 @@ struct CacheHierarchyConfig {
   int tlb_l2_associativity = 12;
 };
 
+/// Paper-machine hierarchy with the L3 replaced by the *host's* detected
+/// last-level cache (util/cpu_cache.h) — the same probe the adaptive
+/// operator keys its switching thresholds to, so simulated LLC behavior and
+/// runtime strategy decisions agree on where "cache-resident" ends.
+CacheHierarchyConfig DetectedCacheHierarchyConfig();
+
 /// Counters accumulated by the model.
 struct CacheSimStats {
   uint64_t accesses = 0;

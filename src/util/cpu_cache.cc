@@ -1,0 +1,54 @@
+#include "util/cpu_cache.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace memagg {
+namespace {
+
+/// Parses a sysfs cache-size string like "6144K" or "8M"; 0 on failure.
+size_t ParseSysfsCacheSize(const char* text) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || value == 0) return 0;
+  size_t bytes = static_cast<size_t>(value);
+  if (*end == 'K' || *end == 'k') bytes *= 1024;
+  if (*end == 'M' || *end == 'm') bytes *= 1024 * 1024;
+  return bytes;
+}
+
+size_t ProbeL3CacheBytes() {
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  {
+    const long bytes = sysconf(_SC_LEVEL3_CACHE_SIZE);
+    if (bytes > 0) return static_cast<size_t>(bytes);
+  }
+#endif
+  // sysconf commonly reports 0 in containers; the sysfs topology still works
+  // there. index3 is the unified L3 on every Linux x86/arm layout.
+  if (std::FILE* f = std::fopen(
+          "/sys/devices/system/cpu/cpu0/cache/index3/size", "re")) {
+    char buffer[32] = {};
+    const size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+    std::fclose(f);
+    if (read > 0) {
+      const size_t bytes = ParseSysfsCacheSize(buffer);
+      if (bytes > 0) return bytes;
+    }
+  }
+  return kDefaultL3CacheBytes;
+}
+
+}  // namespace
+
+size_t DetectedL3CacheBytes() {
+  static const size_t bytes = ProbeL3CacheBytes();
+  return bytes;
+}
+
+}  // namespace memagg

@@ -1,12 +1,19 @@
 // Tests for the Figure 12 decision-flow advisor: exhaustive over the input
-// space, checking every leaf of the flow chart.
+// space, checking every leaf of the flow chart, plus the edge behavior and
+// error band of the sampling cardinality estimator.
 
 #include "core/advisor.h"
+
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/engine.h"
 #include "core/query.h"
+#include "data/zipf.h"
 
 namespace memagg {
 namespace {
@@ -131,6 +138,74 @@ TEST(AdvisorTest, ExplanationMentionsRecommendation) {
   const std::string explanation = ExplainRecommendation(profile);
   EXPECT_NE(explanation.find(RecommendAlgorithm(profile)), std::string::npos);
   EXPECT_NE(explanation.find("holistic"), std::string::npos);
+}
+
+// --- EstimateGroupCardinality edge behavior (see the advisor.h contract:
+// 0 for n == 0, clamped to [1, n] otherwise, exact for n <= 4096, ratio
+// error bounded by sqrt(n / sample_size)). ---
+
+TEST(CardinalityEstimateTest, EmptyInputReturnsZero) {
+  EXPECT_EQ(EstimateGroupCardinality(nullptr, 0), 0u);
+  const uint64_t key = 42;
+  EXPECT_EQ(EstimateGroupCardinality(&key, 0), 0u);
+}
+
+TEST(CardinalityEstimateTest, SingleGroupReturnsOne) {
+  for (size_t n : {1u, 7u, 4096u, 100000u}) {
+    const std::vector<uint64_t> keys(n, 0xdecafULL);
+    EXPECT_EQ(EstimateGroupCardinality(keys.data(), n), 1u) << "n=" << n;
+  }
+}
+
+TEST(CardinalityEstimateTest, SmallInputsAreExact) {
+  // n <= the sample size: every key is inspected, the count is exact.
+  std::vector<uint64_t> keys(4096);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i % 137;
+  EXPECT_EQ(EstimateGroupCardinality(keys.data(), keys.size()), 137u);
+}
+
+TEST(CardinalityEstimateTest, AllDistinctStaysInBandAndBounds) {
+  const size_t n = 1 << 20;
+  std::vector<uint64_t> keys(n);
+  std::iota(keys.begin(), keys.end(), uint64_t{0});
+  const size_t estimate = EstimateGroupCardinality(keys.data(), n);
+  EXPECT_GE(estimate, 1u);
+  EXPECT_LE(estimate, n);
+  // GEE error band: at most sqrt(n / 4096) off in ratio. All-distinct is
+  // the estimator's hardest case (every sampled key is a singleton).
+  const double band = std::sqrt(static_cast<double>(n) / 4096.0);
+  EXPECT_GE(static_cast<double>(estimate), static_cast<double>(n) / band);
+}
+
+TEST(CardinalityEstimateTest, CyclicKeysDoNotResonateWithTheStride) {
+  // keys[i] = i mod C: a stride sharing a factor with C samples only a
+  // subset of the residues. The coprime-stride walk must still see ~all C
+  // groups. C divides n here, the worst alignment.
+  const size_t n = 1 << 20;
+  const size_t cycle = 1 << 14;  // 16384 groups, gcd(n/4096, cycle) = 256.
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = i % cycle;
+  const size_t estimate = EstimateGroupCardinality(keys.data(), n);
+  EXPECT_LE(estimate, n);
+  const double band = std::sqrt(static_cast<double>(n) / 4096.0);
+  EXPECT_GE(static_cast<double>(estimate),
+            static_cast<double>(cycle) / band);
+}
+
+TEST(CardinalityEstimateTest, ZipfExponentOneStaysInBounds) {
+  // Heavy skew (e = 1.0): most rows are hot ranks, the tail is sparse.
+  // The estimate must stay within [1, n] and not collapse below the
+  // sample's own distinct count by construction.
+  const size_t n = 1 << 20;
+  const uint64_t cardinality = 100000;
+  ZipfGenerator zipf(cardinality, 1.0);
+  Rng rng(0x5eed5eed5eed5eedULL);
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = zipf.Next(rng);
+  const size_t estimate = EstimateGroupCardinality(keys.data(), n);
+  EXPECT_GE(estimate, 1u);
+  EXPECT_LE(estimate, n);
+  EXPECT_LE(estimate, static_cast<size_t>(cardinality) * 16);
 }
 
 }  // namespace

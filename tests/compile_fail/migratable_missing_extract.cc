@@ -1,0 +1,36 @@
+// compile-fail: an operator that consumes morsels but cannot hand its
+// partial group state over (no ExtractPartialState/AbsorbPartialState) is
+// not adaptive-switchable, and the diagnostic must say MigratableOperator —
+// the adaptive operator's switch protocol depends on both directions.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/aggregate.h"
+#include "core/concepts.h"
+#include "core/migratable.h"
+#include "core/operator.h"
+#include "core/result.h"
+
+namespace memagg {
+
+class ConsumeOnlyAggregator : public VectorAggregator {
+ public:
+  using Partial = PartialAggState<SumAggregate>;
+
+  void Build(const uint64_t* keys, const uint64_t* values, size_t n) override;
+  VectorResult Iterate() override;
+
+  void BeginConsume(int num_workers, size_t expected_rows);
+  void ConsumeMorsel(const uint64_t* keys, const uint64_t* values,
+                     const Morsel& m);
+  ProgressSnapshot Progress() const;
+  VectorResult Finish();
+  // Missing: Partial ExtractPartialState() and
+  // void AbsorbPartialState(Partial&&).
+};
+
+static_assert(MigratableOperator<ConsumeOnlyAggregator>,
+              "switchable strategies must expose partial-state migration");
+
+}  // namespace memagg

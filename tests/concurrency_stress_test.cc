@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/adaptive_aggregator.h"
+#include "data/dataset.h"
 #include "exec/executor.h"
 #include "exec/task_scheduler.h"
 #include "hash/linear_probing_map.h"
@@ -136,6 +138,43 @@ TEST(ConcurrencyStressTest, StatsShardsMergeExactly) {
     EXPECT_EQ(stats.Get(StatCounter::kMorselsClaimed),
               static_cast<uint64_t>(kLoops) * exec.NumMorsels(kRows));
   }
+}
+
+// Mid-switch migration under concurrency: the adaptive operator's
+// ExtractPartialState/AbsorbPartialState run at a chunk barrier while the
+// surrounding morsel loops use the full worker complement. Forced rotation
+// at every boundary maximizes switch frequency, so TSan sees the handoff
+// between the workers of the old strategy's last chunk and the new
+// strategy's first chunk. Multiple query threads interleave their switches
+// over the one shared scheduler pool.
+TEST(ConcurrencyStressTest, AdaptiveMigrationAtEveryBoundary) {
+  DatasetSpec spec{Distribution::kRseqShuffled, kRowsPerQuery, kKeyRange, 97};
+  const auto keys = GenerateKeys(spec);
+  const uint64_t distinct = CountDistinct(keys);
+  std::vector<std::thread> queries;
+  std::atomic<uint64_t> switches_seen{0};
+  for (int q = 0; q < kQueryThreads; ++q) {
+    queries.emplace_back([&keys, &switches_seen, distinct] {
+      ExecutionContext ctx(kWorkersPerQuery);
+      ctx.morsel_rows = 1 << 12;  // Several morsels per worker per chunk.
+      AdaptiveOptions options;
+      options.rotate = true;
+      options.chunk_morsels = 1;
+      AdaptiveAggregator<CountAggregate> adaptive(keys.size(), ctx, options);
+      adaptive.Build(keys.data(), nullptr, keys.size());
+      const auto result = adaptive.Iterate();
+      EXPECT_EQ(result.size(), distinct);
+      double total = 0;
+      for (const GroupResult& row : result) total += row.value;
+      EXPECT_DOUBLE_EQ(total, static_cast<double>(keys.size()));
+      switches_seen.fetch_add(adaptive.strategy_switches(),
+                              std::memory_order_relaxed);
+    });
+  }
+  for (auto& query : queries) query.join();
+  // 16 morsels per query, a forced switch at every interior boundary.
+  EXPECT_GE(switches_seen.load(),
+            static_cast<uint64_t>(kQueryThreads) * 10);
 }
 
 }  // namespace

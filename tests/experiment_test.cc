@@ -17,11 +17,13 @@ ExperimentConfig SmallConfig() {
   return config;
 }
 
-TEST(ExperimentTest, Q1AutoResolvesToHashAndMatchesReference) {
+TEST(ExperimentTest, Q1AutoResolvesToAdaptiveAndMatchesReference) {
   ExperimentConfig config = SmallConfig();
   config.query = MakeQ1();
   const ExperimentResult result = RunExperiment(config);
-  EXPECT_EQ(result.algorithm, "Hash_LP");  // Advisor pick for 1 thread.
+  // "auto" means adaptive-at-runtime for vector queries (docs/adaptive.md),
+  // not the static Figure 12 pick.
+  EXPECT_EQ(result.algorithm, "Adaptive");
   EXPECT_EQ(result.num_groups, 256u);
   auto rows = result.rows;
   SortByKey(rows);
@@ -32,12 +34,19 @@ TEST(ExperimentTest, Q1AutoResolvesToHashAndMatchesReference) {
   EXPECT_GT(result.data_structure_bytes, 0u);
 }
 
-TEST(ExperimentTest, Q3AutoResolvesToSpreadsort) {
+TEST(ExperimentTest, Q3AutoResolvesToAdaptiveAndMatchesReference) {
   ExperimentConfig config = SmallConfig();
   config.query = MakeQ3();
   const ExperimentResult result = RunExperiment(config);
-  EXPECT_EQ(result.algorithm, "Spreadsort");
+  EXPECT_EQ(result.algorithm, "Adaptive");
   EXPECT_EQ(result.num_groups, 256u);
+  auto rows = result.rows;
+  SortByKey(rows);
+  const auto keys = GenerateKeys(config.dataset);
+  const auto values = GenerateValues(config.dataset.num_records,
+                                     config.value_range, config.value_seed);
+  EXPECT_EQ(rows, ReferenceVectorAggregate(keys, values,
+                                           AggregateFunction::kMedian));
 }
 
 TEST(ExperimentTest, Q7RangeRestrictsGroups) {

@@ -4,6 +4,7 @@
 // Vector/ScalarAggregator — is checked where the families are defined.
 // Compiling this TU is the test; it has no runtime code.
 
+#include "core/adaptive_aggregator.h"
 #include "core/aggregate.h"
 #include "core/concepts.h"
 #include "core/hash_aggregator.h"
@@ -44,5 +45,31 @@ static_assert(ScalarOperator<TreeScalarMedianAggregator<ArtTree>>);
 // The abstract interfaces themselves are not operators.
 static_assert(!AggregationOperator<VectorAggregator>);
 static_assert(!ScalarOperator<ScalarAggregator>);
+
+// Adaptive-switchable strategies: the five named operator families plus the
+// striped shared map expose the MigratableAggregator protocol structurally.
+static_assert(
+    MigratableOperator<HashVectorAggregator<LinearProbingMap, SumAggregate>>);
+static_assert(MigratableOperator<TreeVectorAggregator<ArtTree, SumAggregate>>);
+static_assert(MigratableOperator<LocalPartitionAggregator<SumAggregate>>);
+static_assert(MigratableOperator<RadixPartitionAggregator<SumAggregate>>);
+static_assert(
+    MigratableOperator<SortVectorAggregator<BlockIndirectSorter, SumAggregate>>);
+static_assert(MigratableOperator<StripedParallelAggregator<SumAggregate>>);
+// Holistic policies migrate too (their states concatenate on Merge).
+static_assert(MigratableOperator<RadixPartitionAggregator<MedianAggregate>>);
+
+// Negative models: the TBB-style operator keeps atomic per-entry state that
+// cannot be extracted as plain policy states; the adaptive operator itself
+// is a consumer of the protocol, not a strategy; the abstract base alone
+// does not satisfy the structural concept's constructability requirements.
+static_assert(
+    !MigratableOperator<TbbStyleParallelAggregator<ConcurrentSumAggregate>>);
+static_assert(!MigratableOperator<AdaptiveAggregator<SumAggregate>>);
+static_assert(!MigratableOperator<HybridVectorAggregator<SumAggregate>>);
+
+// The adaptive operator is itself a first-class engine operator.
+static_assert(AggregationOperator<AdaptiveAggregator<SumAggregate>>);
+static_assert(AggregationOperator<AdaptiveAggregator<MedianAggregate>>);
 
 }  // namespace memagg

@@ -10,6 +10,10 @@ report per run:
                "cycles": 12345, "millis": 1.25,
                "stats": {"phases": {...}, "counters": {...}}}, ...]}
 
+Rows may carry an optional "meta" object (string -> string) with decision
+provenance — e.g. the resolved algorithm label behind an "auto" run and the
+adaptive operator's switch trace.
+
 Usage:
     bench_compare.py --self-check BENCH_vector_q1.json
         Validate that a report conforms to the schema (used by CI).
@@ -18,7 +22,16 @@ Usage:
         Match rows by (series, x) and fail (exit 1) if any candidate row is
         more than --threshold percent slower than its baseline row on the
         chosen --metric (default: millis). Rows present on only one side are
-        reported but never fail the comparison.
+        reported but never fail the comparison. Matched rows whose
+        meta.algorithm or meta.switch_trace differ are reported as decision
+        changes (informational, never failing).
+
+    bench_compare.py --adaptive-gate BENCH_adaptive.json \
+        [--adaptive-series Adaptive] [--threshold 10]
+        For every x in the report, compare the adaptive series against the
+        best and worst fixed series at that x. Fails (exit 1) if the
+        adaptive row is more than --threshold percent slower than the best
+        fixed strategy anywhere.
 """
 
 import argparse
@@ -81,6 +94,16 @@ def validate(report, path):
                             stats[section], dict):
                         problems.append(
                             f"{where}: stats.{section} must be an object")
+        if "meta" in row:
+            meta = row["meta"]
+            if not isinstance(meta, dict):
+                problems.append(f"{where}: 'meta' must be an object")
+            else:
+                for k, v in meta.items():
+                    if not isinstance(k, str) or not isinstance(v, str):
+                        problems.append(
+                            f"{where}: meta entries must be string->string")
+                        break
         key = (row.get("series"), row.get("x"))
         if key in seen:
             problems.append(f"{where}: duplicate (series, x) pair {key}")
@@ -133,12 +156,25 @@ def compare(baseline_path, candidate_path, metric, threshold_pct):
         elif delta_pct < 0:
             improvements += 1
 
+    decision_changes = []
+    for key in common:
+        base_meta = base_rows[key].get("meta", {})
+        cand_meta = cand_rows[key].get("meta", {})
+        for field in ("algorithm", "switch_trace"):
+            if base_meta.get(field) != cand_meta.get(field) and (
+                    field in base_meta or field in cand_meta):
+                decision_changes.append(
+                    (key, field, base_meta.get(field, "-"),
+                     cand_meta.get(field, "-")))
+
     print(f"compared {len(common)} rows on '{metric}' "
           f"(threshold {threshold_pct:.1f}%): "
           f"{len(regressions)} regression(s), {improvements} improvement(s)")
     for (series, x), base, cand, delta_pct in regressions:
         print(f"  REGRESSION {series} @ x={x}: "
               f"{base:g} -> {cand:g} ({delta_pct:+.1f}%)")
+    for (series, x), field, base, cand in decision_changes:
+        print(f"  DECISION {series} @ x={x} {field}: {base} -> {cand}")
     if only_base:
         print(f"  note: {len(only_base)} row(s) only in baseline "
               f"(e.g. {only_base[0]})")
@@ -146,6 +182,60 @@ def compare(baseline_path, candidate_path, metric, threshold_pct):
         print(f"  note: {len(only_cand)} row(s) only in candidate "
               f"(e.g. {only_cand[0]})")
     return 1 if regressions else 0
+
+
+def adaptive_gate(path, adaptive_series, metric, threshold_pct):
+    """At every (workload, x): adaptive within threshold of the best fixed.
+
+    Series may be workload-prefixed ("Zipf/Adaptive", "Zipf/Hash_PRadix");
+    rows are grouped by (prefix, x) so multi-workload reports gate each
+    workload independently.
+    """
+    report = load_report(path)
+    problems = validate(report, path)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+
+    groups = {}
+    for row in report["rows"]:
+        workload, _, algo = row["series"].rpartition("/")
+        groups.setdefault((workload, row["x"]), []).append((algo, row))
+
+    failures = []
+    checked = 0
+    for (workload, x) in sorted(groups):
+        rows = groups[(workload, x)]
+        adaptive = [r for algo, r in rows if algo == adaptive_series]
+        fixed = [r for algo, r in rows
+                 if algo != adaptive_series and r[metric] > 0]
+        if not adaptive or not fixed:
+            continue
+        checked += 1
+        where = f"{workload or 'default'} x={x}"
+        ada = adaptive[0][metric]
+        best = min(fixed, key=lambda r: r[metric])
+        worst = max(fixed, key=lambda r: r[metric])
+        delta_pct = 100.0 * (ada - best[metric]) / best[metric]
+        speedup_vs_worst = (worst[metric] / ada) if ada > 0 else float("inf")
+        trace = adaptive[0].get("meta", {}).get("switch_trace", "-")
+        verdict = "FAIL" if delta_pct > threshold_pct else "ok"
+        print(f"  {verdict} {where}: adaptive {ada:g} vs best "
+              f"{best['series']} {best[metric]:g} ({delta_pct:+.1f}%), "
+              f"{speedup_vs_worst:.2f}x over worst {worst['series']} "
+              f"[{trace}]")
+        if delta_pct > threshold_pct:
+            failures.append((where, best["series"], delta_pct))
+
+    if checked == 0:
+        print(f"error: no group with both '{adaptive_series}' and fixed "
+              f"series", file=sys.stderr)
+        return 1
+    print(f"adaptive gate: {checked} sweep point(s), "
+          f"{len(failures)} failure(s) (threshold {threshold_pct:.1f}% "
+          f"over best fixed)")
+    return 1 if failures else 0
 
 
 def main():
@@ -157,6 +247,12 @@ def main():
                              "BASELINE CANDIDATE")
     parser.add_argument("--self-check", action="store_true",
                         help="validate schema of a single report")
+    parser.add_argument("--adaptive-gate", action="store_true",
+                        help="check the adaptive series against the best "
+                             "fixed series at every x of one report")
+    parser.add_argument("--adaptive-series", default="Adaptive",
+                        help="series name of the adaptive rows "
+                             "(default: Adaptive)")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="fail if a row regresses by more than this "
                              "percentage (default: 10)")
@@ -169,6 +265,11 @@ def main():
         if len(args.files) != 1:
             parser.error("--self-check takes exactly one file")
         return self_check(args.files[0])
+    if args.adaptive_gate:
+        if len(args.files) != 1:
+            parser.error("--adaptive-gate takes exactly one file")
+        return adaptive_gate(args.files[0], args.adaptive_series,
+                             args.metric, args.threshold)
     if len(args.files) != 2:
         parser.error("comparison takes exactly two files "
                      "(baseline candidate)")

@@ -32,6 +32,18 @@ the repo-specific discipline that neither can express:
                        ::operator new/delete — otherwise the arena ablation
                        silently measures the wrong allocator. Placement new
                        and `= delete`d members are fine.
+  fixed-aggregator-construction
+                       library/bench/example code may not construct a fixed
+                       aggregator template (HashAggregator<...>,
+                       LocalPartitionAggregator<...>, ...) directly: operator
+                       choice flows through the engine factory
+                       (MakeVectorAggregator) or the adaptive operator
+                       (AdaptiveAggregator), so strategy selection stays in
+                       one place. The factory (core/engine.cc,
+                       sim/traced_engine.cc) and the family headers
+                       themselves (src/core/*_aggregator.h, which compose
+                       sub-operators) are exempt; tests construct families
+                       directly to unit-test them.
   unconstrained-typename
                        headers under src/core/ may not declare bare
                        `template <typename X>` / `template <class X>`
@@ -247,6 +259,39 @@ def check_raw_node_alloc(relpath, stripped):
         yield (line_of(stripped, match.start()), "raw-node-alloc", message)
 
 
+# Construction of a concrete aggregator template: heap (make_unique / new)
+# or a stack/member object with arguments. `AdaptiveAggregator` is the
+# sanctioned entry point, so it is excluded by name.
+FIXED_AGG_CONSTRUCT_RE = re.compile(
+    r"(?:std::make_unique\s*<\s*|new\s+)([A-Z]\w*Aggregator)\s*<"
+    r"|\b([A-Z]\w*Aggregator)\s*<[\w:<>,\s]*>\s+\w+\s*[({]"
+)
+FIXED_AGG_EXEMPT_FILES = (
+    "src/core/engine.cc",       # the MakeVectorAggregator factory
+    "src/core/migratable.h",    # the migratable-state protocol itself
+    "src/sim/traced_engine.cc", # traced mirror of the factory
+)
+
+
+def check_fixed_aggregator_construction(relpath, stripped):
+    posix = relpath.as_posix()
+    if posix in FIXED_AGG_EXEMPT_FILES:
+        return
+    if posix.startswith("src/core/") and posix.endswith("_aggregator.h"):
+        return  # Family headers compose their own sub-operators.
+    for match in FIXED_AGG_CONSTRUCT_RE.finditer(stripped):
+        name = match.group(1) or match.group(2)
+        if name == "AdaptiveAggregator":
+            continue
+        yield (
+            line_of(stripped, match.start()),
+            "fixed-aggregator-construction",
+            f"direct construction of {name} — route operator choice "
+            "through MakeVectorAggregator (core/engine.h) or "
+            "AdaptiveAggregator so strategy selection stays in one place",
+        )
+
+
 TEMPLATE_INTRO_RE = re.compile(r"\btemplate\s*<")
 TYPE_PARAM_RE = re.compile(r"^\s*(typename|class)\b")
 
@@ -348,6 +393,7 @@ RULES = (
     (LIBRARY_DIRS, check_include_guard),
     (LIBRARY_DIRS, check_raw_node_alloc),
     (LIBRARY_DIRS, check_unconstrained_typename),
+    (LIBRARY_DIRS, check_fixed_aggregator_construction),
 )
 
 
@@ -447,6 +493,41 @@ FIXTURES = [
         "#ifndef WIDGET_H\n#define WIDGET_H\n#endif\n",
         "#ifndef MEMAGG_CORE_WIDGET_H_\n#define MEMAGG_CORE_WIDGET_H_\n"
         "#endif  // MEMAGG_CORE_WIDGET_H_\n",
+    ),
+    (
+        "fixed-aggregator-construction",
+        "bench/micro.cc",
+        "void f() { auto a =\n"
+        "  std::make_unique<HashAggregator<CountAggregate>>(64); use(a); }\n",
+        "void f() { auto a = MakeVectorAggregator(\"Hash_LP\",\n"
+        "    AggregateFunction::kCount, 64, exec);\n"
+        "  auto b = std::make_unique<AdaptiveAggregator<CountAggregate>>(\n"
+        "    64, exec, options);\n"
+        "  std::unique_ptr<VectorAggregator> held = std::move(a); }\n",
+    ),
+    (
+        "fixed-aggregator-construction",
+        "bench/micro.cc",
+        "void f() { LocalPartitionAggregator<CountAggregate> agg(64, exec);\n"
+        "  agg.Build(nullptr, nullptr, 0); }\n",
+        "void g(LocalPartitionAggregator<CountAggregate>* op);\n"
+        "void f(VectorAggregator* base) {\n"
+        "  auto* h = static_cast<HybridVectorAggregator<CountAggregate>*>(\n"
+        "      base); use(h); }\n",
+    ),
+    (
+        "fixed-aggregator-construction",
+        "src/core/engine.cc",  # the factory is where construction lives
+        "",
+        "std::unique_ptr<VectorAggregator> Make() {\n"
+        "  return std::make_unique<RadixPartitionAggregator<CountAggregate>>(\n"
+        "      64, exec); }\n",
+    ),
+    (
+        "fixed-aggregator-construction",
+        "src/core/hybrid_aggregator.h",  # family headers compose internally
+        "",
+        "void f() { hash_ = std::make_unique<HashAggregator<Agg>>(64); }\n",
     ),
     (
         "unconstrained-typename",

@@ -5,6 +5,12 @@
 // phase inserts key -> value for --records random keys, the iterate phase
 // reads back every stored item. Output: one row per structure with build and
 // iterate cycle counts, matching the Figure 3 stacked bars.
+//
+// On top of the paper's figure, a SIMD-lane section builds the two probed
+// hash maps with each SimdOps lane pinned (LinearProbingMap<..., ScalarOps>
+// etc.) so the probe-loop vectorization shows up at the data-structure
+// level, not just in bench_simd's kernel loops. Everything is also recorded
+// to BENCH_ds_micro.json for tools/bench_compare.py.
 
 #include <cstdio>
 #include <string>
@@ -13,9 +19,44 @@
 #include "bench_common.h"
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "hash/dense_map.h"
+#include "hash/linear_probing_map.h"
+#include "util/simd.h"
 
 namespace memagg {
 namespace {
+
+/// Build + lookup of one lane-pinned map type over the shared key set.
+/// Reports build cycles (x = records) and lookup cycles under the given
+/// series names; `sum` guards against dead-code elimination.
+template <typename Map>
+void RunLaneMap(BenchReport& report, const std::string& map_name,
+                const char* lane, const std::vector<uint64_t>& keys) {
+  Map map(keys.size());
+  const BenchTiming build = TimeOnce([&] {
+    for (const uint64_t key : keys) map.GetOrInsert(key) += 1;
+  });
+  uint64_t sum = 0;
+  const BenchTiming lookup = TimeOnce([&] {
+    for (const uint64_t key : keys) {
+      const uint64_t* value = map.Find(key);
+      if (value != nullptr) sum += *value;
+    }
+  });
+  const std::string series = map_name + "/" + lane;
+  std::printf("%s,%llu,%llu,%.1f,%.1f\n", series.c_str(),
+              static_cast<unsigned long long>(build.cycles),
+              static_cast<unsigned long long>(lookup.cycles), build.millis,
+              lookup.millis);
+  std::fflush(stdout);
+  report.AddRow(series + "/build", keys.size(), build.cycles, build.millis);
+  report.AddRow(series + "/lookup", keys.size(), lookup.cycles,
+                lookup.millis);
+  if (sum < keys.size()) {
+    std::fprintf(stderr, "warning: lookup sum %llu below record count\n",
+                 static_cast<unsigned long long>(sum));
+  }
+}
 
 int Run(int argc, char** argv) {
   CliFlags flags(argc, argv);
@@ -34,6 +75,10 @@ int Run(int argc, char** argv) {
                   " random keys (1-1M); hash tables sized to the input");
   std::printf("structure,build_cycles,iterate_cycles,build_ms,iterate_ms\n");
 
+  BenchReport report("ds_micro");
+  report.SetParam("records", records);
+  report.SetParam("active_lane", simd::DispatchOps::Name());
+
   for (const std::string& label : labels) {
     auto aggregator =
         MakeVectorAggregator(label, AggregateFunction::kCount, records);
@@ -47,9 +92,28 @@ int Run(int argc, char** argv) {
                 static_cast<unsigned long long>(iterate.cycles), build.millis,
                 iterate.millis);
     std::fflush(stdout);
+    report.AddRow(label + "/build", records, build.cycles, build.millis);
+    report.AddRow(label + "/iterate", records, iterate.cycles,
+                  iterate.millis);
     if (rows == 0) std::fprintf(stderr, "warning: empty result for %s\n",
                                 label.c_str());
   }
+
+  // SIMD-lane ablation of the probed maps: same keys, lane pinned per run.
+  std::printf("# lane-pinned probe maps (series,build_cycles,lookup_cycles,"
+              "build_ms,lookup_ms)\n");
+  using LpScalar =
+      LinearProbingMap<uint64_t, NullTracer, ArenaAllocator, simd::ScalarOps>;
+  using LpDispatch = LinearProbingMap<uint64_t, NullTracer, ArenaAllocator,
+                                      simd::DispatchOps>;
+  using DenseScalar = DenseMap<uint64_t, NullTracer, simd::ScalarOps>;
+  using DenseDispatch = DenseMap<uint64_t, NullTracer, simd::DispatchOps>;
+  RunLaneMap<LpScalar>(report, "Hash_LP", "scalar", keys);
+  RunLaneMap<LpDispatch>(report, "Hash_LP", "dispatch", keys);
+  RunLaneMap<DenseScalar>(report, "Hash_Dense", "scalar", keys);
+  RunLaneMap<DenseDispatch>(report, "Hash_Dense", "dispatch", keys);
+
+  report.WriteFile();
   return 0;
 }
 

@@ -65,7 +65,9 @@ class RadixPartitionAggregator final : public VectorAggregator,
     const size_t grain = executor.MorselRows(n);
     const size_t num_morsels = NumMorselsFor(n, grain);
 
-    // Phase 1: per-morsel partition histograms (parallel).
+    // Phase 1: per-morsel partition histograms (parallel). The key hashes
+    // are computed a batch at a time through the SIMD lane (hash_fn.h);
+    // the histogram update itself stays scalar (scattered increments).
     PhaseTimer partition_timer(&stats_, StatPhase::kPartition);
     std::vector<std::vector<size_t>> counts(
         num_morsels, std::vector<size_t>(num_partitions_, 0));
@@ -73,8 +75,13 @@ class RadixPartitionAggregator final : public VectorAggregator,
         n,
         [&](const Morsel& m) {
           auto& morsel_counts = counts[m.index];
-          for (size_t i = m.begin; i < m.end; ++i) {
-            ++morsel_counts[PartitionOf(keys[i])];
+          uint64_t hashes[kHashBatch];
+          for (size_t i = m.begin; i < m.end; i += kHashBatch) {
+            const size_t chunk = std::min(kHashBatch, m.end - i);
+            HashKeysBatch(keys + i, chunk, hashes);
+            for (size_t j = 0; j < chunk; ++j) {
+              ++morsel_counts[PartitionOfHash(hashes[j])];
+            }
           }
         },
         grain);
@@ -101,11 +108,17 @@ class RadixPartitionAggregator final : public VectorAggregator,
         n,
         [&](const Morsel& m) {
           auto morsel_offsets = offsets[m.index];
-          for (size_t i = m.begin; i < m.end; ++i) {
-            const uint64_t value =
-                Aggregate::kNeedsValues && values != nullptr ? values[i] : 0;
-            scattered[morsel_offsets[PartitionOf(keys[i])]++] = {keys[i],
-                                                                 value};
+          uint64_t hashes[kHashBatch];
+          for (size_t i = m.begin; i < m.end; i += kHashBatch) {
+            const size_t chunk = std::min(kHashBatch, m.end - i);
+            HashKeysBatch(keys + i, chunk, hashes);
+            for (size_t j = 0; j < chunk; ++j) {
+              const uint64_t value = Aggregate::kNeedsValues && values != nullptr
+                                         ? values[i + j]
+                                         : 0;
+              scattered[morsel_offsets[PartitionOfHash(hashes[j])]++] = {
+                  keys[i + j], value};
+            }
           }
         },
         grain);
@@ -280,8 +293,16 @@ class RadixPartitionAggregator final : public VectorAggregator,
   }
 
  private:
+  /// Stack-buffer length for the batched hash passes: big enough to amortize
+  /// the dispatch call, small enough to stay in L1 alongside the histogram.
+  static constexpr size_t kHashBatch = 256;
+
+  size_t PartitionOfHash(uint64_t hash) const {
+    return (hash >> 40) & (num_partitions_ - 1);
+  }
+
   size_t PartitionOf(uint64_t key) const {
-    return (HashKey(key) >> 40) & (num_partitions_ - 1);
+    return PartitionOfHash(HashKey(key));
   }
 
   ExecutionContext exec_;

@@ -28,6 +28,7 @@
 #include "util/bits.h"
 #include "util/macros.h"
 #include "util/mutex.h"
+#include "util/simd.h"
 #include "util/spinlock.h"
 #include "util/thread_annotations.h"
 #include "util/tracer.h"
@@ -35,13 +36,19 @@
 namespace memagg {
 
 /// Concurrent cuckoo hash map from uint64_t keys to Value. Keys must not be
-/// kEmptyKey. Value must be default-constructible and movable.
+/// kEmptyKey (checked loudly). Value must be default-constructible and
+/// movable.
 ///
 /// Thread-safe operations: Upsert, Contains, WithValue. Iteration (ForEach)
 /// and MemoryBytes must not race with writers. `Tracer` reports bucket
 /// accesses (see util/tracer.h); tracing is meaningful for single-threaded
-/// use.
-template <typename Value, MemoryTracer Tracer = NullTracer>
+/// use. `Ops` selects the bucket-scan kernel lane: one 4-wide 64-bit
+/// compare (Ops::MatchKey4) covers a whole bucket, for lookups and for
+/// free-slot searches (match against kEmptyKey). Scans run under the same
+/// stripe locks as before — vectorization changes the compare width, not
+/// the locking protocol.
+template <typename Value, MemoryTracer Tracer = NullTracer,
+          simd::SimdOps Ops = simd::DispatchOps>
 class CuckooMap {
  public:
   using mapped_type = Value;
@@ -64,7 +71,9 @@ class CuckooMap {
   /// Hash_LC support holistic aggregation (Section 5.8).
   template <typename Fn>
   void Upsert(uint64_t key, Fn fn) EXCLUDES(resize_mutex_) {
-    MEMAGG_DCHECK(key != kEmptyKey);
+    // The empty sentinel would match every free slot's key; reject it loudly
+    // (always on — aliasing a sentinel corrupts the table unrecoverably).
+    MEMAGG_CHECK(key != kEmptyKey);
     while (true) {
       size_t buckets_seen;
       {
@@ -233,9 +242,8 @@ class CuckooMap {
     for (size_t b : {b1, b2}) {
       Bucket& bucket = buckets_[b];
       Tracer::OnAccess(bucket.keys, sizeof(bucket.keys));
-      for (int slot = 0; slot < kSlotsPerBucket; ++slot) {
-        if (bucket.keys[slot] == key) return &bucket.values[slot];
-      }
+      const int slot = Ops::MatchKey4(bucket.keys, key);
+      if (slot >= 0) return &bucket.values[slot];
     }
     return nullptr;
   }
@@ -245,12 +253,11 @@ class CuckooMap {
     for (size_t b : {b1, b2}) {
       Bucket& bucket = buckets_[b];
       Tracer::OnAccess(bucket.keys, sizeof(bucket.keys));
-      for (int slot = 0; slot < kSlotsPerBucket; ++slot) {
-        if (bucket.keys[slot] == kEmptyKey) {
-          bucket.keys[slot] = key;
-          bucket.values[slot] = Value{};
-          return &bucket.values[slot];
-        }
+      const int slot = Ops::MatchKey4(bucket.keys, kEmptyKey);
+      if (slot >= 0) {
+        bucket.keys[slot] = key;
+        bucket.values[slot] = Value{};
+        return &bucket.values[slot];
       }
     }
     return nullptr;
@@ -285,8 +292,8 @@ class CuckooMap {
           StripePair stripes(*this, b, b);
           for (int slot = 0; slot < kSlotsPerBucket; ++slot) {
             keys[slot] = buckets_[b].keys[slot];
-            if (keys[slot] == kEmptyKey) has_free_slot = true;
           }
+          has_free_slot = Ops::MatchKey4(keys, kEmptyKey) >= 0;
         }
         if (has_free_slot) {
           // Free slot found: walk the path back, displacing items.
@@ -333,13 +340,7 @@ class CuckooMap {
           ((HashKey(key) & mask_) == from ? HashKeyAlt(key) : HashKey(key)) &
           mask_;
       if (alt != to) return false;
-      int free_slot = -1;
-      for (int slot = 0; slot < kSlotsPerBucket; ++slot) {
-        if (to_bucket.keys[slot] == kEmptyKey) {
-          free_slot = slot;
-          break;
-        }
-      }
+      const int free_slot = Ops::MatchKey4(to_bucket.keys, kEmptyKey);
       if (free_slot < 0) return false;  // Raced; caller retries.
       to_bucket.keys[free_slot] = key;
       to_bucket.values[free_slot] = std::move(from_bucket.values[from_slot]);

@@ -2,26 +2,37 @@
 // mixer (Murmur3/splitmix lineage). It is cheap (~5 ops), avalanches well so
 // that power-of-two tables can mask the low bits, and is invertible (a
 // bijection), so distinct keys never collide before the table reduction.
+//
+// The scalar mix itself lives in util/simd.h (simd::HashMix64) so the SIMD
+// lanes can vectorize the identical constants; HashKey delegates to it and
+// HashKeysBatch exposes the dispatched N-at-a-time form for columnar passes
+// (radix-partition histogram/scatter). HashKeyAlt stays a hand-written
+// scalar on purpose: cuckoo hashing needs its two hash families independent,
+// and keeping Alt out of the shared-mixer path means a future batch-hash
+// rewrite cannot quietly collapse them into one family
+// (tests/hash_fn_test.cc pins the independence statistically).
 
 #ifndef MEMAGG_HASH_HASH_FN_H_
 #define MEMAGG_HASH_HASH_FN_H_
 
+#include <cstddef>
 #include <cstdint>
+
+#include "util/simd.h"
 
 namespace memagg {
 
 /// Mixes `key` into a uniformly distributed 64-bit hash.
-inline uint64_t HashKey(uint64_t key) {
-  uint64_t h = key;
-  h ^= h >> 33;
-  h *= 0xff51afd7ed558ccdULL;
-  h ^= h >> 33;
-  h *= 0xc4ceb9fe1a85ec53ULL;
-  h ^= h >> 33;
-  return h;
+inline uint64_t HashKey(uint64_t key) { return simd::HashMix64(key); }
+
+/// Hashes `n` keys at once through the active SIMD lane: out[i] =
+/// HashKey(keys[i]), bit-identical to the scalar loop on every lane.
+inline void HashKeysBatch(const uint64_t* keys, size_t n, uint64_t* out) {
+  simd::DispatchOps::HashBatch(keys, n, out);
 }
 
 /// A second, independent hash for cuckoo hashing's alternate table.
+/// Deliberately NOT routed through simd::HashMix64 — see the header comment.
 inline uint64_t HashKeyAlt(uint64_t key) {
   uint64_t h = key + 0x9e3779b97f4a7c15ULL;
   h ^= h >> 30;
@@ -34,7 +45,8 @@ inline uint64_t HashKeyAlt(uint64_t key) {
 
 /// Sentinel key used by the open-addressing tables to mark empty slots
 /// (mirrors Google densehash's required "empty key"). Dataset keys must not
-/// equal this value; the generators never produce it.
+/// equal this value; the generators never produce it, and the serial
+/// open-addressing maps reject it loudly (MEMAGG_CHECK) rather than alias.
 inline constexpr uint64_t kEmptyKey = ~0ULL;
 
 /// Sentinel for deleted slots (open addressing tables with erase support).

@@ -14,13 +14,26 @@
 // default arena allocator each map owns a private arena released wholesale
 // when the map dies — partitioned aggregators exploit this to free a whole
 // partition's table in one shot after merging it.
+//
+// Probing is group-at-a-time over a Swiss-table-style control-byte array:
+// one 16-wide tag compare (Ops::MatchByteTag) filters a whole group of
+// slots before any slot is loaded. The groups tile the classic linear scan
+// in order (window k covers probe offsets 16k..16k+15 from the home slot),
+// and the first empty control byte is exactly where the scalar scan would
+// have inserted — so slot placement, and therefore ComputeProbeStats, is
+// bit-identical to the pre-SIMD layout on every lane. The control array
+// carries a group-width-1 mirror tail (written modulo capacity) so an
+// unaligned group load from any home slot never wraps, for any capacity
+// the three sizing policies can produce.
 
 #ifndef MEMAGG_HASH_LINEAR_PROBING_MAP_H_
 #define MEMAGG_HASH_LINEAR_PROBING_MAP_H_
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -30,6 +43,7 @@
 #include "util/bits.h"
 #include "util/macros.h"
 #include "util/prime.h"
+#include "util/simd.h"
 #include "util/tracer.h"
 
 namespace memagg {
@@ -42,10 +56,13 @@ enum class SizingPolicy {
 };
 
 /// Open-addressing hash map with linear probing from uint64_t keys to Value.
-/// Keys must not be kEmptyKey. Not thread-safe. `Tracer` reports every slot
-/// touched (see util/tracer.h); `Alloc` provides the slot array.
+/// Keys must not be kEmptyKey (checked loudly). Not thread-safe. `Tracer`
+/// reports every byte range touched (see util/tracer.h); `Alloc` provides
+/// the slot and control arrays; `Ops` selects the probe kernel lane
+/// (default: runtime dispatch, pin simd::ScalarOps etc. for ablation).
 template <typename Value, MemoryTracer Tracer = NullTracer,
-          AllocatorPolicy Alloc = ArenaAllocator>
+          AllocatorPolicy Alloc = ArenaAllocator,
+          simd::SimdOps Ops = simd::DispatchOps>
 class LinearProbingMap {
  public:
   using mapped_type = Value;
@@ -68,11 +85,13 @@ class LinearProbingMap {
       : policy_(other.policy_),
         alloc_(std::move(other.alloc_)),
         slots_(other.slots_),
+        ctrl_(other.ctrl_),
         capacity_(other.capacity_),
         size_(other.size_),
         rehashes_(other.rehashes_),
         rehashes_saved_(other.rehashes_saved_) {
     other.slots_ = nullptr;
+    other.ctrl_ = nullptr;
     other.capacity_ = 0;
     other.size_ = 0;
     other.rehashes_ = 0;
@@ -85,11 +104,13 @@ class LinearProbingMap {
       policy_ = other.policy_;
       alloc_ = std::move(other.alloc_);
       slots_ = other.slots_;
+      ctrl_ = other.ctrl_;
       capacity_ = other.capacity_;
       size_ = other.size_;
       rehashes_ = other.rehashes_;
       rehashes_saved_ = other.rehashes_saved_;
       other.slots_ = nullptr;
+      other.ctrl_ = nullptr;
       other.capacity_ = 0;
       other.size_ = 0;
       other.rehashes_ = 0;
@@ -100,22 +121,41 @@ class LinearProbingMap {
 
   /// Returns the value slot for `key`, default-constructing it on first use.
   Value& GetOrInsert(uint64_t key) {
-    MEMAGG_DCHECK(key != kEmptyKey);
+    // The empty sentinel would silently alias every empty slot; reject it
+    // before it can corrupt the table (always on, not just in debug builds).
+    MEMAGG_CHECK(key != kEmptyKey);
     if (MEMAGG_UNLIKELY((size_ + 1) * 10 > capacity_ * 7)) {
       Rebuild(DesiredCapacity(capacity_ * 2));
     }
-    size_t idx = Reduce(HashKey(key));
+    const uint64_t hash = HashKey(key);
+    const uint8_t tag = simd::TagOfHash(hash);
+    size_t idx = Reduce(hash);
     while (true) {
-      Slot& slot = slots_[idx];
-      Tracer::OnAccess(&slot, sizeof(Slot));
-      if (slot.key == key) return slot.value;
-      if (slot.key == kEmptyKey) {
+      const uint8_t* group = ctrl_ + idx;
+      Tracer::OnAccess(group, simd::kGroupWidth);
+      // Tag hits first: with no deletions a key never sits past the first
+      // empty byte of its probe sequence, so a stale hit past it just
+      // fails the full-key compare.
+      for (uint32_t match = Ops::MatchByteTag(group, tag); match != 0;
+           match &= match - 1) {
+        Slot& slot = slots_[WrapSlot(idx + std::countr_zero(match))];
+        Tracer::OnAccess(&slot, sizeof(Slot));
+        if (MEMAGG_LIKELY(slot.key == key)) return slot.value;
+      }
+      const uint32_t empty = Ops::MatchEmpty(group);
+      if (MEMAGG_LIKELY(empty != 0)) {
+        // First empty byte in scan order == where the scalar linear probe
+        // would have inserted; placement stays lane-independent.
+        const size_t pos = WrapSlot(idx + std::countr_zero(empty));
+        Slot& slot = slots_[pos];
+        Tracer::OnAccess(&slot, sizeof(Slot));
         slot.key = key;
         slot.value = Value{};
+        SetCtrl(pos, tag);
         ++size_;
         return slot.value;
       }
-      idx = Advance(idx);
+      idx = AdvanceGroup(idx);
     }
   }
 
@@ -134,14 +174,21 @@ class LinearProbingMap {
 
   /// Returns the value for `key` or nullptr if absent.
   const Value* Find(uint64_t key) const {
-    MEMAGG_DCHECK(key != kEmptyKey);
-    size_t idx = Reduce(HashKey(key));
+    MEMAGG_CHECK(key != kEmptyKey);
+    const uint64_t hash = HashKey(key);
+    const uint8_t tag = simd::TagOfHash(hash);
+    size_t idx = Reduce(hash);
     while (true) {
-      const Slot& slot = slots_[idx];
-      Tracer::OnAccess(&slot, sizeof(Slot));
-      if (slot.key == key) return &slot.value;
-      if (slot.key == kEmptyKey) return nullptr;
-      idx = Advance(idx);
+      const uint8_t* group = ctrl_ + idx;
+      Tracer::OnAccess(group, simd::kGroupWidth);
+      for (uint32_t match = Ops::MatchByteTag(group, tag); match != 0;
+           match &= match - 1) {
+        const Slot& slot = slots_[WrapSlot(idx + std::countr_zero(match))];
+        Tracer::OnAccess(&slot, sizeof(Slot));
+        if (MEMAGG_LIKELY(slot.key == key)) return &slot.value;
+      }
+      if (MEMAGG_LIKELY(Ops::MatchEmpty(group) != 0)) return nullptr;
+      idx = AdvanceGroup(idx);
     }
   }
 
@@ -178,7 +225,9 @@ class LinearProbingMap {
   }
 
   /// Approximate heap footprint in bytes.
-  size_t MemoryBytes() const { return capacity_ * sizeof(Slot); }
+  size_t MemoryBytes() const {
+    return capacity_ * sizeof(Slot) + CtrlBytes(capacity_);
+  }
 
   /// Probe-distance diagnostics, computed on demand (no hot-path counters).
   /// `max_probe`/`total_probes` measure each key's displacement from its
@@ -219,6 +268,10 @@ class LinearProbingMap {
     Value value{};
   };
 
+  static size_t CtrlBytes(size_t capacity) {
+    return capacity + simd::kGroupWidth - 1;
+  }
+
   size_t DesiredCapacity(size_t at_least) const {
     switch (policy_) {
       case SizingPolicy::kPowerOfTwo:
@@ -239,18 +292,45 @@ class LinearProbingMap {
     return hash % capacity_;
   }
 
-  size_t Advance(size_t idx) const {
-    return MEMAGG_UNLIKELY(idx + 1 == capacity_) ? 0 : idx + 1;
+  /// Wraps a group-relative position (< capacity + group width) back into
+  /// the slot array. Prime/exact capacities may be smaller than a group, so
+  /// the general case is a modulo, not a single subtraction.
+  size_t WrapSlot(size_t pos) const {
+    if (policy_ == SizingPolicy::kPowerOfTwo) return pos & (capacity_ - 1);
+    return pos % capacity_;
+  }
+
+  size_t AdvanceGroup(size_t idx) const {
+    // Only reachable when a full group held no empty byte, which requires
+    // capacity > group width (smaller tables are fully covered by one
+    // mirrored group and always contain an empty at ≤70% load) — so one
+    // subtraction wraps.
+    const size_t next = idx + simd::kGroupWidth;
+    return next >= capacity_ ? next - capacity_ : next;
+  }
+
+  /// Writes a control byte at `pos`, plus every mirror image of `pos` in the
+  /// tail (positions pos + k*capacity below capacity + group width - 1), so
+  /// unaligned group loads from any home slot see consistent bytes even when
+  /// the capacity is smaller than a group.
+  void SetCtrl(size_t pos, uint8_t v) {
+    for (size_t i = pos; i < CtrlBytes(capacity_); i += capacity_) {
+      ctrl_[i] = v;
+    }
   }
 
   void Rebuild(size_t new_capacity) {
     Slot* old_slots = slots_;
+    uint8_t* old_ctrl = ctrl_;
     const size_t old_capacity = capacity_;
     if (old_slots != nullptr) ++rehashes_;
     capacity_ = new_capacity;
     slots_ = static_cast<Slot*>(
         alloc_.AllocateBytes(new_capacity * sizeof(Slot), alignof(Slot)));
     for (size_t i = 0; i < new_capacity; ++i) new (&slots_[i]) Slot();
+    ctrl_ = static_cast<uint8_t*>(
+        alloc_.AllocateBytes(CtrlBytes(new_capacity), simd::kGroupWidth));
+    std::memset(ctrl_, simd::kCtrlEmpty, CtrlBytes(new_capacity));
     size_ = 0;
     for (size_t i = 0; i < old_capacity; ++i) {
       Slot& slot = old_slots[i];
@@ -259,28 +339,31 @@ class LinearProbingMap {
       }
     }
     if (old_slots != nullptr) {
-      ReleaseSlots(old_slots, old_capacity);
+      ReleaseSlots(old_slots, old_ctrl, old_capacity);
     }
   }
 
   void DestroySlots() {
     if (slots_ == nullptr) return;
-    ReleaseSlots(slots_, capacity_);
+    ReleaseSlots(slots_, ctrl_, capacity_);
     slots_ = nullptr;
+    ctrl_ = nullptr;
     capacity_ = 0;
     size_ = 0;
   }
 
-  void ReleaseSlots(Slot* slots, size_t count) {
+  void ReleaseSlots(Slot* slots, uint8_t* ctrl, size_t count) {
     if constexpr (!std::is_trivially_destructible_v<Slot>) {
       for (size_t i = 0; i < count; ++i) slots[i].~Slot();
     }
     alloc_.DeallocateBytes(slots, count * sizeof(Slot));
+    alloc_.DeallocateBytes(ctrl, CtrlBytes(count));
   }
 
   SizingPolicy policy_;
   Alloc alloc_;
   Slot* slots_ = nullptr;
+  uint8_t* ctrl_ = nullptr;
   size_t capacity_ = 0;
   size_t size_ = 0;
   size_t rehashes_ = 0;

@@ -2,11 +2,17 @@
 //
 // A 256-way radix tree over the big-endian bytes of a 64-bit key, so an
 // in-order traversal yields keys in ascending numeric order. Inner nodes
-// adapt among four sizes (Node4, Node16, Node48, Node256) as their fan-out
-// grows, and pessimistic path compression stores up to 8 skipped prefix
-// bytes per inner node. Height therefore depends on key length (<= 8
+// adapt among five sizes (Node4, Node16, Node32, Node48, Node256) as their
+// fan-out grows, and pessimistic path compression stores up to 8 skipped
+// prefix bytes per inner node. Height therefore depends on key length (<= 8
 // levels), not on the number of keys, and no rebalancing is ever required —
 // the radix-tree properties the paper contrasts with comparison trees.
+//
+// Node16 and Node32 keep their key arrays sorted and search them with one
+// 16/32-wide SIMD byte compare (util/simd.h); Node32 exists because a
+// single 32-wide compare makes fan-outs 17..32 cheaper than the Node48
+// indirection that used to absorb them (cf. Leis et al.'s SSE Node16
+// search — the 256-bit lane extends the same trick one size up).
 //
 // Insert-only (aggregation workloads never erase), not thread-safe.
 
@@ -22,17 +28,21 @@
 
 #include "mem/allocator.h"
 #include "util/macros.h"
+#include "util/simd.h"
 #include "util/tracer.h"
 
 namespace memagg {
 
 /// Adaptive radix tree from uint64_t keys to Value. `Tracer` reports every
-/// node visited (see util/tracer.h). `Alloc` serves the five node sizes;
+/// node visited (see util/tracer.h). `Alloc` serves the six node sizes;
 /// the default arena allocator recycles outgrown inner nodes (Node4 →
-/// Node16 → Node48 → Node256 leaves the smaller shell on a freelist for
-/// the next split) and releases everything wholesale at destruction.
+/// Node16 → Node32 → Node48 → Node256 leaves the smaller shell on a
+/// freelist for the next split) and releases everything wholesale at
+/// destruction. `Ops` selects the node-scan kernel lane (default: runtime
+/// dispatch, pin simd::ScalarOps etc. for ablation).
 template <typename Value, MemoryTracer Tracer = NullTracer,
-          AllocatorPolicy Alloc = ArenaAllocator>
+          AllocatorPolicy Alloc = ArenaAllocator,
+          simd::SimdOps Ops = simd::DispatchOps>
 class ArtTree {
  public:
   using mapped_type = Value;
@@ -116,12 +126,15 @@ class ArtTree {
     size_t leaves = 0;
     size_t node4 = 0;
     size_t node16 = 0;
+    size_t node32 = 0;
     size_t node48 = 0;
     size_t node256 = 0;
     size_t max_depth = 0;            ///< In nodes along the deepest path.
     size_t total_prefix_bytes = 0;   ///< Path-compressed bytes saved.
 
-    size_t inner_nodes() const { return node4 + node16 + node48 + node256; }
+    size_t inner_nodes() const {
+      return node4 + node16 + node32 + node48 + node256;
+    }
   };
 
   NodeStats ComputeNodeStats() const {
@@ -131,8 +144,19 @@ class ArtTree {
   }
 
  private:
-  enum class NodeType : uint8_t { kLeaf, kNode4, kNode16, kNode48, kNode256 };
+  enum class NodeType : uint8_t {
+    kLeaf,
+    kNode4,
+    kNode16,
+    kNode32,
+    kNode48,
+    kNode256
+  };
 
+  // Pessimistic path compression never overflows for 8-byte keys: two
+  // distinct keys share at most 7 leading bytes, so every stored prefix fits
+  // and no optimistic "compare overflow bytes at the leaf" pass is needed.
+  // InsertImpl DCHECKs the bound where prefixes are built.
   static constexpr int kMaxPrefix = 8;
 
   struct Node {
@@ -163,6 +187,12 @@ class ArtTree {
     Node16() : Inner(NodeType::kNode16) {}
     uint8_t keys[16] = {};
     Node* children[16] = {};
+  };
+
+  struct Node32 : Inner {
+    Node32() : Inner(NodeType::kNode32) {}
+    uint8_t keys[32] = {};
+    Node* children[32] = {};
   };
 
   struct Node48 : Inner {
@@ -206,11 +236,16 @@ class ArtTree {
         return nullptr;
       }
       case NodeType::kNode16: {
+        // One 16-wide byte compare over the full key array, masked down to
+        // num_children (the array is always fully readable).
         const Node16* n = static_cast<const Node16*>(inner);
-        for (int i = 0; i < n->num_children; ++i) {
-          if (n->keys[i] == byte) return &n->children[i];
-        }
-        return nullptr;
+        const int i = Ops::FindByte16(n->keys, n->num_children, byte);
+        return i < 0 ? nullptr : &n->children[i];
+      }
+      case NodeType::kNode32: {
+        const Node32* n = static_cast<const Node32*>(inner);
+        const int i = Ops::FindByte32(n->keys, n->num_children, byte);
+        return i < 0 ? nullptr : &n->children[i];
       }
       case NodeType::kNode48: {
         const Node48* n = static_cast<const Node48*>(inner);
@@ -276,13 +311,41 @@ class ArtTree {
           ++n->num_children;
           return;
         }
+        // The keys are sorted, so a straight copy keeps Node32 sorted too —
+        // order is preserved no matter what order the inserts arrived in.
+        Node32* grown = NewNode<Node32>();
+        CopyHeader(grown, n);
+        std::memcpy(grown->keys, n->keys, 16);
+        std::memcpy(grown->children, n->children, 16 * sizeof(Node*));
+        grown->num_children = 16;
+        FreeInner(n);
+        *inner_slot = grown;
+        AddChild(inner_slot, byte, child);
+        return;
+      }
+      case NodeType::kNode32: {
+        Node32* n = static_cast<Node32*>(inner);
+        if (n->num_children < 32) {
+          int pos = 0;
+          while (pos < n->num_children && n->keys[pos] < byte) ++pos;
+          for (int i = n->num_children; i > pos; --i) {
+            n->keys[i] = n->keys[i - 1];
+            n->children[i] = n->children[i - 1];
+          }
+          n->keys[pos] = byte;
+          n->children[pos] = child;
+          ++n->num_children;
+          return;
+        }
         Node48* grown = NewNode<Node48>();
         CopyHeader(grown, n);
-        for (int i = 0; i < 16; ++i) {
+        // child_index is keyed by byte value, so Node48's in-order
+        // traversal stays correct regardless of insertion order.
+        for (int i = 0; i < 32; ++i) {
           grown->child_index[n->keys[i]] = static_cast<uint8_t>(i);
           grown->children[i] = n->children[i];
         }
-        grown->num_children = 16;
+        grown->num_children = 32;
         FreeInner(n);
         *inner_slot = grown;
         AddChild(inner_slot, byte, child);
@@ -336,6 +399,10 @@ class ArtTree {
         memory_bytes_ -= sizeof(Node16);
         alloc_.Delete(static_cast<Node16*>(inner));
         break;
+      case NodeType::kNode32:
+        memory_bytes_ -= sizeof(Node32);
+        alloc_.Delete(static_cast<Node32*>(inner));
+        break;
       case NodeType::kNode48:
         memory_bytes_ -= sizeof(Node48);
         alloc_.Delete(static_cast<Node48*>(inner));
@@ -357,6 +424,8 @@ class ArtTree {
         return sizeof(Node4);
       case NodeType::kNode16:
         return sizeof(Node16);
+      case NodeType::kNode32:
+        return sizeof(Node32);
       case NodeType::kNode48:
         return sizeof(Node48);
       case NodeType::kNode256:
@@ -382,6 +451,10 @@ class ArtTree {
       EncodeKey(leaf->key, existing);
       size_t common = depth;
       while (existing[common] == bytes[common]) ++common;
+      // The keys differ (checked above), so the scan stops within the 8 key
+      // bytes and the new prefix fits kMaxPrefix — prefixes never truncate.
+      MEMAGG_DCHECK(common < 8);
+      MEMAGG_DCHECK(common - depth <= static_cast<size_t>(kMaxPrefix));
       Node4* split = NewNode<Node4>();
       split->prefix_len = static_cast<uint8_t>(common - depth);
       std::memcpy(split->prefix, bytes + depth, split->prefix_len);
@@ -456,6 +529,13 @@ class ArtTree {
       }
       case NodeType::kNode16: {
         const Node16* n = static_cast<const Node16*>(inner);
+        for (int i = 0; i < n->num_children; ++i) {
+          visit(n->keys[i], n->children[i]);
+        }
+        return;
+      }
+      case NodeType::kNode32: {
+        const Node32* n = static_cast<const Node32*>(inner);
         for (int i = 0; i < n->num_children; ++i) {
           visit(n->keys[i], n->children[i]);
         }
@@ -538,6 +618,9 @@ class ArtTree {
         break;
       case NodeType::kNode16:
         ++stats.node16;
+        break;
+      case NodeType::kNode32:
+        ++stats.node32;
         break;
       case NodeType::kNode48:
         ++stats.node48;

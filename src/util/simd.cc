@@ -1,0 +1,116 @@
+#include "util/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace memagg {
+namespace simd {
+namespace {
+
+template <SimdOps Ops>
+constexpr SimdDispatchTable MakeTable() {
+  return SimdDispatchTable{
+      Ops::Lane(),          Ops::Name(),      &Ops::MatchByteTag,
+      &Ops::MatchEmpty,     &Ops::FindByte16, &Ops::FindByte32,
+      &Ops::MatchKey4,      &Ops::HashBatch,
+  };
+}
+
+constexpr SimdDispatchTable kScalarTable = MakeTable<ScalarOps>();
+constexpr SimdDispatchTable kSse42Table = MakeTable<Sse42Ops>();
+constexpr SimdDispatchTable kAvx2Table = MakeTable<Avx2Ops>();
+
+const SimdDispatchTable& TableFor(SimdLane lane) {
+  switch (lane) {
+    case SimdLane::kSse42:
+      return kSse42Table;
+    case SimdLane::kAvx2:
+      return kAvx2Table;
+    case SimdLane::kScalar:
+      break;
+  }
+  return kScalarTable;
+}
+
+SimdLane WidestSupported() {
+  if (SimdLaneSupported(SimdLane::kAvx2)) return SimdLane::kAvx2;
+  if (SimdLaneSupported(SimdLane::kSse42)) return SimdLane::kSse42;
+  return SimdLane::kScalar;
+}
+
+/// Parses MEMAGG_SIMD. Returns true and sets `lane` on a recognized value;
+/// unrecognized values warn and fall through to auto-detection.
+bool ParseLaneOverride(SimdLane& lane) {
+  const char* env = std::getenv("MEMAGG_SIMD");
+  if (env == nullptr || *env == '\0') return false;
+  if (std::strcmp(env, "scalar") == 0) {
+    lane = SimdLane::kScalar;
+  } else if (std::strcmp(env, "sse42") == 0) {
+    lane = SimdLane::kSse42;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    lane = SimdLane::kAvx2;
+  } else {
+    std::fprintf(stderr,
+                 "memagg: ignoring MEMAGG_SIMD=%s "
+                 "(expected scalar|sse42|avx2)\n",
+                 env);
+    return false;
+  }
+  return true;
+}
+
+SimdLane SelectLane() {
+  SimdLane lane;
+  if (ParseLaneOverride(lane)) {
+    if (SimdLaneSupported(lane)) return lane;
+    const SimdLane fallback = WidestSupported();
+    std::fprintf(stderr,
+                 "memagg: MEMAGG_SIMD=%s not supported on this CPU; "
+                 "using %s\n",
+                 SimdLaneName(lane), SimdLaneName(fallback));
+    return fallback;
+  }
+  return WidestSupported();
+}
+
+}  // namespace
+
+bool SimdLaneSupported(SimdLane lane) {
+#if MEMAGG_SIMD_X86
+  switch (lane) {
+    case SimdLane::kScalar:
+      return true;
+    case SimdLane::kSse42:
+      return __builtin_cpu_supports("sse4.2") != 0;
+    case SimdLane::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+  }
+  return false;
+#else
+  return lane == SimdLane::kScalar;
+#endif
+}
+
+const char* SimdLaneName(SimdLane lane) {
+  switch (lane) {
+    case SimdLane::kScalar:
+      return "scalar";
+    case SimdLane::kSse42:
+      return "sse42";
+    case SimdLane::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+const SimdDispatchTable& ActiveSimd() {
+  // Selected exactly once, on first use, thread-safely (magic static).
+  // Re-reading MEMAGG_SIMD mid-run is deliberately impossible: a table
+  // probed under one lane keeps that lane for its lifetime.
+  static const SimdDispatchTable& table = TableFor(SelectLane());
+  return table;
+}
+
+}  // namespace simd
+}  // namespace memagg

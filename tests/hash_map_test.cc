@@ -19,6 +19,7 @@
 #include "hash/sparse_map.h"
 #include "util/prime.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace memagg {
 namespace {
@@ -232,6 +233,138 @@ TEST(CuckooMapTest, ContainsAndWithValue) {
 TEST(ChainingMapTest, BucketCountIsPrime) {
   ChainingMap<uint64_t> map(1000);
   EXPECT_TRUE(IsPrime(map.bucket_count()));
+}
+
+// --- Sentinel-key regression tests (ISSUE 7 satellite) ----------------------
+// The open-addressing tables reserve kEmptyKey to mark free slots. Inserting
+// it used to be a debug-only DCHECK — in release builds the key silently
+// aliased every empty slot (a lookup "finds" it anywhere, an insert corrupts
+// occupancy). It now fails loudly in all build modes.
+
+TEST(SentinelKeyDeathTest, DenseMapInsertRejectsEmptyKey) {
+  DenseMap<uint64_t> map(16);
+  EXPECT_DEATH(map.GetOrInsert(kEmptyKey), "kEmptyKey");
+}
+
+TEST(SentinelKeyDeathTest, DenseMapFindRejectsEmptyKey) {
+  DenseMap<uint64_t> map(16);
+  map.GetOrInsert(1) = 10;
+  EXPECT_DEATH(map.Find(kEmptyKey), "kEmptyKey");
+}
+
+TEST(SentinelKeyDeathTest, LinearProbingInsertRejectsEmptyKey) {
+  LinearProbingMap<uint64_t> map(16);
+  EXPECT_DEATH(map.GetOrInsert(kEmptyKey), "kEmptyKey");
+}
+
+TEST(SentinelKeyDeathTest, LinearProbingFindRejectsEmptyKey) {
+  LinearProbingMap<uint64_t> map(16);
+  map.GetOrInsert(1) = 10;
+  EXPECT_DEATH(map.Find(kEmptyKey), "kEmptyKey");
+}
+
+TEST(SentinelKeyDeathTest, CuckooUpsertRejectsEmptyKey) {
+  CuckooMap<uint64_t> map(16);
+  EXPECT_DEATH(map.Upsert(kEmptyKey, [](uint64_t& v) { v = 1; }),
+               "kEmptyKey");
+}
+
+TYPED_TEST(HashMapTest, DeletedSentinelIsAnOrdinaryKey) {
+  // None of the serial maps support erase, so kDeletedKey is just a large
+  // key value — it must round-trip like any other and not collide with the
+  // empty sentinel's handling.
+  TypeParam map(16);
+  map.GetOrInsert(kDeletedKey) = 42;
+  map.GetOrInsert(kDeletedKey - 1) = 43;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(kDeletedKey), nullptr);
+  EXPECT_EQ(*map.Find(kDeletedKey), 42u);
+  ASSERT_NE(map.Find(kDeletedKey - 1), nullptr);
+  EXPECT_EQ(*map.Find(kDeletedKey - 1), 43u);
+}
+
+// --- Probe-lane ablation: explicit SimdOps pins must agree -------------------
+// The maps' Ops parameter exists so benchmarks can pin a lane; the pinned
+// variants must be drop-in equivalent on real workloads (the kernel-level
+// equivalence lives in simd_test.cc; this covers the map-level wiring:
+// group loops, wrap-around, control-byte updates through rebuilds).
+
+template <typename Map>
+void FillAndCheck(Map& map) {
+  Rng rng(Rng::kDefaultSeed + 7);
+  std::unordered_map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(8192);
+    map.GetOrInsert(key) += 1;
+    reference[key] += 1;
+  }
+  ASSERT_EQ(map.size(), reference.size());
+  for (const auto& [key, count] : reference) {
+    const uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr);
+    ASSERT_EQ(*found, count);
+  }
+}
+
+TEST(ProbeLaneTest, LinearProbingScalarLane) {
+  LinearProbingMap<uint64_t, NullTracer, ArenaAllocator, simd::ScalarOps> map(
+      4);
+  FillAndCheck(map);
+}
+
+TEST(ProbeLaneTest, LinearProbingDispatchLanePrimeSizing) {
+  // Prime capacities exercise the modular mirror tail and non-pow2 wrap.
+  LinearProbingMap<uint64_t> map(3, SizingPolicy::kPrime);
+  FillAndCheck(map);
+  EXPECT_TRUE(IsPrime(map.capacity()));
+}
+
+TEST(ProbeLaneTest, LinearProbingScalarLaneExactSizing) {
+  LinearProbingMap<uint64_t, NullTracer, ArenaAllocator, simd::ScalarOps> map(
+      5, SizingPolicy::kExact);
+  FillAndCheck(map);
+}
+
+TEST(ProbeLaneTest, DenseMapScalarLane) {
+  DenseMap<uint64_t, NullTracer, simd::ScalarOps> map(4);
+  FillAndCheck(map);
+}
+
+TEST(ProbeLaneTest, CuckooScalarLane) {
+  CuckooMap<uint64_t, NullTracer, simd::ScalarOps> map(4);
+  Rng rng(Rng::kDefaultSeed + 9);
+  std::unordered_map<uint64_t, uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(8192);
+    map.Upsert(key, [](uint64_t& v) { v += 1; });
+    reference[key] += 1;
+  }
+  ASSERT_EQ(map.size(), reference.size());
+  for (const auto& [key, count] : reference) {
+    const uint64_t* found = map.Find(key);
+    ASSERT_NE(found, nullptr);
+    ASSERT_EQ(*found, count);
+  }
+}
+
+TEST(ProbeLaneTest, ProbeStatsMatchScalarPlacement) {
+  // Group probing must preserve the exact slot placement of the scalar
+  // linear probe (the displacement histogram is observable via
+  // ComputeProbeStats and asserted on by the stats layer).
+  LinearProbingMap<uint64_t, NullTracer, ArenaAllocator, simd::ScalarOps>
+      scalar(64);
+  LinearProbingMap<uint64_t> dispatch(64);
+  Rng rng(Rng::kDefaultSeed + 11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.NextBounded(4096);
+    scalar.GetOrInsert(key) = key;
+    dispatch.GetOrInsert(key) = key;
+  }
+  const auto s = scalar.ComputeProbeStats();
+  const auto d = dispatch.ComputeProbeStats();
+  EXPECT_EQ(s.entries, d.entries);
+  EXPECT_EQ(s.max_probe, d.max_probe);
+  EXPECT_EQ(s.total_probes, d.total_probes);
 }
 
 }  // namespace

@@ -1,0 +1,42 @@
+// Pins util/simd.h's lane types to the SimdOps concept. Compiling this TU
+// is the test; it has no runtime code.
+
+#include <cstdint>
+
+#include "util/simd.h"
+
+namespace memagg {
+
+// Every shipped lane — and the runtime dispatcher — models SimdOps, so any
+// container's Ops parameter accepts all four interchangeably.
+static_assert(simd::SimdOps<simd::ScalarOps>);
+static_assert(simd::SimdOps<simd::Sse42Ops>);
+static_assert(simd::SimdOps<simd::Avx2Ops>);
+static_assert(simd::SimdOps<simd::DispatchOps>);
+
+// Negative modeling: a lane missing a kernel, or returning the wrong mask
+// width, is not a SimdOps.
+namespace {
+
+struct MissingMatch {
+  static constexpr simd::SimdLane Lane() { return simd::SimdLane::kScalar; }
+  static constexpr const char* Name() { return "broken"; }
+  // Missing: MatchByteTag and the rest of the kernel vocabulary.
+};
+
+struct NarrowMask : simd::ScalarOps {
+  // Wrong return type: group masks are uint32_t, not uint16_t (bit 16..31
+  // headroom for a future 32-wide group).
+  static uint16_t MatchByteTag(const uint8_t*, uint8_t) { return 0; }
+};
+
+static_assert(!simd::SimdOps<MissingMatch>);
+static_assert(!simd::SimdOps<NarrowMask>);
+
+}  // namespace
+
+// The control-byte scheme's two load-bearing constants.
+static_assert(simd::kGroupWidth == 16);
+static_assert(simd::kCtrlEmpty == 0x80);
+
+}  // namespace memagg

@@ -203,13 +203,113 @@ TYPED_TEST(TreeTest, MemoryBytesGrowsWithContent) {
 // --- Structure-specific tests -----------------------------------------------
 
 TEST(ArtTest, NodeGrowthChain) {
-  // Forces Node4 -> Node16 -> Node48 -> Node256 growth at one level.
+  // Forces Node4 -> Node16 -> Node32 -> Node48 -> Node256 growth at one
+  // level.
   ArtTree<uint64_t> tree;
   for (uint64_t b = 0; b < 256; ++b) {
     tree.GetOrInsert(b) = b;
     // Every key so far must stay reachable after each growth step.
     for (uint64_t probe = 0; probe <= b; ++probe) {
       ASSERT_NE(tree.Find(probe), nullptr) << "after inserting " << b;
+    }
+  }
+}
+
+TEST(ArtTest, Node32AppearsInGrowthChain) {
+  // 20 children at one level sit in the new Node32 tier (17..32).
+  ArtTree<uint64_t> tree;
+  for (uint64_t b = 0; b < 20; ++b) tree.GetOrInsert(b) = b;
+  const auto stats = tree.ComputeNodeStats();
+  EXPECT_EQ(stats.node32, 1u);
+  EXPECT_EQ(stats.node48, 0u);
+  EXPECT_EQ(stats.inner_nodes(), stats.node32 + stats.node4 + stats.node16 +
+                                     stats.node48 + stats.node256);
+}
+
+TEST(ArtTest, UnsortedInsertsPreserveOrderAcrossGrowth) {
+  // ISSUE 7 satellite: growing 4 -> 16 -> 32 -> 48 with inserts arriving in
+  // a hostile order must keep in-order traversal sorted and every child
+  // reachable. Node16/Node32 keep sorted key arrays (so straight copies
+  // grow correctly); Node48 indexes by byte value. A shuffled byte order
+  // exercises the insertion-shift path at every size.
+  Rng rng(Rng::kDefaultSeed);
+  std::vector<uint64_t> bytes;
+  for (uint64_t b = 0; b < 60; ++b) bytes.push_back(b * 4 + 1);
+  for (size_t i = bytes.size(); i > 1; --i) {
+    std::swap(bytes[i - 1], bytes[rng.NextBounded(i)]);
+  }
+  ArtTree<uint64_t> tree;
+  std::map<uint64_t, uint64_t> reference;
+  for (const uint64_t b : bytes) {
+    tree.GetOrInsert(b) = b * 10;
+    reference[b] = b * 10;
+    // Sorted iteration must match the oracle after every growth step.
+    std::vector<std::pair<uint64_t, uint64_t>> got;
+    tree.ForEach([&got](uint64_t k, const uint64_t& v) {
+      got.emplace_back(k, v);
+    });
+    ASSERT_EQ(got.size(), reference.size());
+    auto it = reference.begin();
+    for (const auto& [k, v] : got) {
+      ASSERT_EQ(k, it->first);
+      ASSERT_EQ(v, it->second);
+      ++it;
+    }
+  }
+}
+
+TEST(ArtTest, FuzzInsertLookupRoundTrip) {
+  // Fuzz-style round-trip (ISSUE 7 satellite): random keys drawn from byte
+  // distributions that exercise dense fan-out, deep shared prefixes (up to
+  // 7 bytes — the kMaxPrefix ceiling for 8-byte keys), and prefix splits.
+  Rng rng(Rng::kDefaultSeed ^ 0xa57);
+  for (int round = 0; round < 8; ++round) {
+    ArtTree<uint64_t> tree;
+    std::map<uint64_t, uint64_t> reference;
+    for (int i = 0; i < 4000; ++i) {
+      uint64_t key;
+      switch (rng.NextBounded(4)) {
+        case 0:  // Dense small keys: grows wide low-level nodes.
+          key = rng.NextBounded(512);
+          break;
+        case 1:  // Shared 6..7-byte prefix: max-length compressed paths.
+          key = 0xabcdef0123450000ULL | rng.NextBounded(300);
+          break;
+        case 2:  // Two clusters differing high up: prefix splits.
+          key = (rng.NextBounded(2) ? 0x1100000000000000ULL
+                                    : 0x2200000000000000ULL) |
+                rng.NextBounded(1 << 20);
+          break;
+        default:  // Uniform random.
+          key = rng.Next();
+          break;
+      }
+      if (key == ~0ULL) key = 0;  // Stay clear of map sentinels elsewhere.
+      tree.GetOrInsert(key) += 1;
+      reference[key] += 1;
+    }
+    ASSERT_EQ(tree.size(), reference.size());
+    // Positive lookups: every reference key, with its aggregated count.
+    for (const auto& [key, count] : reference) {
+      const uint64_t* found = tree.Find(key);
+      ASSERT_NE(found, nullptr) << "key " << key;
+      ASSERT_EQ(*found, count);
+    }
+    // Negative lookups: perturbed keys absent from the reference.
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t probe = rng.Next();
+      if (reference.count(probe) == 0) {
+        ASSERT_EQ(tree.Find(probe), nullptr) << "probe " << probe;
+      }
+    }
+    // Sorted traversal equals the oracle's.
+    std::vector<uint64_t> got;
+    tree.ForEach([&got](uint64_t k, const uint64_t&) { got.push_back(k); });
+    ASSERT_EQ(got.size(), reference.size());
+    auto it = reference.begin();
+    for (const uint64_t k : got) {
+      ASSERT_EQ(k, it->first);
+      ++it;
     }
   }
 }

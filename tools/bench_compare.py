@@ -32,6 +32,16 @@ Usage:
         best and worst fixed series at that x. Fails (exit 1) if the
         adaptive row is more than --threshold percent slower than the best
         fixed strategy anywhere.
+
+    bench_compare.py --speedup-gate BENCH_simd.json \
+        --baseline-series tag_probe16/scalar \
+        --candidate-series tag_probe16/avx2 [--min-speedup 1.5]
+        Within ONE report, require candidate to be at least --min-speedup
+        times faster than baseline at every shared x (ratio =
+        baseline/candidate on --metric, default cycles for this mode).
+        A missing baseline series is an error; a missing candidate series
+        warns loudly and passes, so the gate is portable to machines
+        without the vector lane (the bench skips unsupported lanes).
 """
 
 import argparse
@@ -238,6 +248,56 @@ def adaptive_gate(path, adaptive_series, metric, threshold_pct):
     return 1 if failures else 0
 
 
+def speedup_gate(path, baseline_series, candidate_series, metric,
+                 min_speedup):
+    """Candidate must beat baseline by >= min_speedup at every shared x."""
+    report = load_report(path)
+    problems = validate(report, path)
+    if problems:
+        for p in problems:
+            print(p, file=sys.stderr)
+        return 1
+
+    by_series = {}
+    for row in report["rows"]:
+        by_series.setdefault(row["series"], {})[row["x"]] = row
+    base = by_series.get(baseline_series)
+    cand = by_series.get(candidate_series)
+    if not base:
+        print(f"error: baseline series '{baseline_series}' not in {path} "
+              "(the scalar lane always runs — its absence means the bench "
+              "is broken)", file=sys.stderr)
+        return 1
+    if not cand:
+        # The bench skips lanes the machine cannot run, so a missing
+        # candidate is a capability gap, not a regression.
+        print(f"WARNING: candidate series '{candidate_series}' not in "
+              f"{path} — lane unsupported on this machine, speedup gate "
+              "SKIPPED (not enforced)")
+        return 0
+
+    shared = sorted(base.keys() & cand.keys())
+    if not shared:
+        print(f"error: '{baseline_series}' and '{candidate_series}' share "
+              "no x values", file=sys.stderr)
+        return 1
+    failures = 0
+    for x in shared:
+        b, c = base[x][metric], cand[x][metric]
+        if c <= 0:
+            print(f"  SKIP x={x}: candidate {metric} is zero")
+            continue
+        ratio = b / c
+        verdict = "ok" if ratio >= min_speedup else "FAIL"
+        print(f"  {verdict} x={x}: {candidate_series} {c:g} vs "
+              f"{baseline_series} {b:g} -> {ratio:.2f}x "
+              f"(need >= {min_speedup:g}x)")
+        if ratio < min_speedup:
+            failures += 1
+    print(f"speedup gate: {len(shared)} point(s), {failures} failure(s)")
+    return 1 if failures else 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__,
@@ -253,13 +313,28 @@ def main():
     parser.add_argument("--adaptive-series", default="Adaptive",
                         help="series name of the adaptive rows "
                              "(default: Adaptive)")
+    parser.add_argument("--speedup-gate", action="store_true",
+                        help="require --candidate-series to beat "
+                             "--baseline-series by --min-speedup within "
+                             "one report")
+    parser.add_argument("--baseline-series",
+                        help="series the speedup is measured against")
+    parser.add_argument("--candidate-series",
+                        help="series that must be faster")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="minimum baseline/candidate ratio "
+                             "(default: 1.5)")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="fail if a row regresses by more than this "
                              "percentage (default: 10)")
     parser.add_argument("--metric", choices=("millis", "cycles"),
-                        default="millis",
-                        help="row field to compare (default: millis)")
+                        default=None,
+                        help="row field to compare (default: millis; "
+                             "--speedup-gate defaults to cycles because "
+                             "lane kernels finish in microseconds, where "
+                             "wall-clock quantization dominates)")
     args = parser.parse_args()
+    metric = args.metric or ("cycles" if args.speedup_gate else "millis")
 
     if args.self_check:
         if len(args.files) != 1:
@@ -269,11 +344,20 @@ def main():
         if len(args.files) != 1:
             parser.error("--adaptive-gate takes exactly one file")
         return adaptive_gate(args.files[0], args.adaptive_series,
-                             args.metric, args.threshold)
+                             metric, args.threshold)
+    if args.speedup_gate:
+        if len(args.files) != 1:
+            parser.error("--speedup-gate takes exactly one file")
+        if not args.baseline_series or not args.candidate_series:
+            parser.error("--speedup-gate requires --baseline-series and "
+                         "--candidate-series")
+        return speedup_gate(args.files[0], args.baseline_series,
+                            args.candidate_series, metric,
+                            args.min_speedup)
     if len(args.files) != 2:
         parser.error("comparison takes exactly two files "
                      "(baseline candidate)")
-    return compare(args.files[0], args.files[1], args.metric, args.threshold)
+    return compare(args.files[0], args.files[1], metric, args.threshold)
 
 
 if __name__ == "__main__":

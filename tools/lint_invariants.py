@@ -44,6 +44,12 @@ the repo-specific discipline that neither can express:
                        themselves (src/core/*_aggregator.h, which compose
                        sub-operators) are exempt; tests construct families
                        directly to unit-test them.
+  raw-simd-intrinsic   x86 vector intrinsics (_mm*_*, __m128/__m256/__m512)
+                       may only appear under src/util/simd* — every other
+                       file goes through the SimdOps lanes so the scalar/
+                       sse42/avx2 ablation and the -mno-avx2 CI job stay
+                       meaningful. _mm_pause in spinlock.h carries a waiver:
+                       it is a scheduling hint, not a data kernel.
   unconstrained-typename
                        headers under src/core/ may not declare bare
                        `template <typename X>` / `template <class X>`
@@ -292,6 +298,22 @@ def check_fixed_aggregator_construction(relpath, stripped):
         )
 
 
+RAW_SIMD_RE = re.compile(r"\b(?:_mm\d*_\w+|__m(?:128|256|512)\w*)\b")
+
+
+def check_raw_simd_intrinsic(relpath, stripped):
+    if relpath.as_posix().startswith("src/util/simd"):
+        return
+    for match in RAW_SIMD_RE.finditer(stripped):
+        yield (
+            line_of(stripped, match.start()),
+            "raw-simd-intrinsic",
+            f"raw vector intrinsic {match.group(0)} outside src/util/simd* "
+            "— add a kernel to the SimdOps lanes so the lane ablation "
+            "covers it",
+        )
+
+
 TEMPLATE_INTRO_RE = re.compile(r"\btemplate\s*<")
 TYPE_PARAM_RE = re.compile(r"^\s*(typename|class)\b")
 
@@ -392,6 +414,7 @@ RULES = (
     (LIBRARY_DIRS, check_unguarded_global),
     (LIBRARY_DIRS, check_include_guard),
     (LIBRARY_DIRS, check_raw_node_alloc),
+    (ALL_DIRS, check_raw_simd_intrinsic),
     (LIBRARY_DIRS, check_unconstrained_typename),
     (LIBRARY_DIRS, check_fixed_aggregator_construction),
 )
@@ -486,6 +509,21 @@ FIXTURES = [
         "src/core/widget.cc",  # only node-based structure dirs are scanned
         "",
         "void f() { Node* n = new Node(); delete n; }\n",
+    ),
+    (
+        "raw-simd-intrinsic",
+        "src/hash/widget.h",
+        "uint32_t f(const uint8_t* g) {\n"
+        "  return _mm_movemask_epi8(LoadGroup(g)); }\n",
+        "uint32_t f(const uint8_t* g) {\n"
+        "  return simd::DispatchOps::MatchEmpty(g); }\n",
+    ),
+    (
+        "raw-simd-intrinsic",
+        "src/util/simd_widen.h",  # the lane implementation layer is exempt
+        "",
+        "__m256i f(const uint8_t* g) {\n"
+        "  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(g)); }\n",
     ),
     (
         "include-guard",

@@ -133,7 +133,7 @@ struct ConcurrentMaxAggregate {
 /// and fragmentation overhead it attributes to Hash_TBBSC on Q3.
 struct ConcurrentMedianAggregate {
   struct State {
-    SpinLock lock;
+    SpinLock lock{LockRank::kAggregateState};
     std::vector<uint64_t> values GUARDED_BY(lock);
   };
   static constexpr bool kNeedsValues = true;
@@ -152,7 +152,7 @@ struct ConcurrentMedianAggregate {
 /// MODE state: a lock-guarded per-group buffer, finalized like ModeAggregate.
 struct ConcurrentModeAggregate {
   struct State {
-    SpinLock lock;
+    SpinLock lock{LockRank::kAggregateState};
     std::vector<uint64_t> values GUARDED_BY(lock);
   };
   static constexpr bool kNeedsValues = true;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/lock_rank.h"
 #include "util/macros.h"
 #include "util/mutex.h"
 
@@ -36,7 +37,7 @@ TaskScheduler::Stats TaskScheduler::stats() const {
 }
 
 struct TaskGroup::State {
-  Mutex mutex;
+  Mutex mutex{LockRank::kTaskGroup};
   CondVar changed;
   std::deque<std::function<void()>> queue GUARDED_BY(mutex);
   int in_flight GUARDED_BY(mutex) = 0;  // Tasks currently executing.
@@ -115,6 +116,9 @@ void TaskGroup::Submit(std::function<void()> task) {
 }
 
 void TaskGroup::Wait() {
+  // Wait drains tasks of this group on the calling thread; holding any lock
+  // here deadlocks as soon as a drained task wants it.
+  lockrank::AssertNoneHeld("TaskGroup::Wait entered");
   MutexLock lock(state_->mutex);
   while (true) {
     state_->DrainLocked();

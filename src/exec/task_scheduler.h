@@ -31,6 +31,7 @@
 #include <memory>
 
 #include "exec/thread_pool.h"
+#include "util/lock_rank.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
@@ -61,7 +62,7 @@ class TaskScheduler {
   friend class TaskGroup;
   TaskScheduler() = default;
 
-  mutable Mutex pool_mutex_;
+  mutable Mutex pool_mutex_{LockRank::kSchedulerPool};
   std::unique_ptr<ThreadPool> pool_ GUARDED_BY(pool_mutex_);
   std::atomic<uint64_t> threads_created_{0};
   std::atomic<uint64_t> tasks_run_{0};
@@ -84,6 +85,10 @@ class TaskGroup {
 
   /// Runs queued tasks on the calling thread until the group is fully
   /// drained (queue empty and no task in flight), then returns.
+  ///
+  /// Must be called with no locks held (enforced under MEMAGG_LOCK_RANK):
+  /// Wait drains arbitrary tasks of this group on the calling thread, and a
+  /// drained task that wants a lock the waiter holds deadlocks the query.
   void Wait();
 
   /// Shared between the group handle, its pool driver tickets, and the

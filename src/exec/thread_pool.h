@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/lock_rank.h"
 #include "util/macros.h"
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
@@ -68,7 +69,18 @@ class ThreadPool {
 
   /// Blocks until every submitted task (including transitively submitted
   /// ones) has finished.
+  ///
+  /// Unlike TaskGroup::Wait this wait is NOT cooperative — the caller parks
+  /// on a condvar instead of draining the queue. Calling it from inside a
+  /// pool task therefore self-deadlocks (the parked worker is one of the
+  /// threads `pending_` is waiting on), and holding any lock across it
+  /// deadlocks any task that wants that lock. Both are checked: the former
+  /// always, the latter under MEMAGG_LOCK_RANK.
   void Wait() EXCLUDES(mutex_) {
+    MEMAGG_CHECK(!tls_is_pool_worker &&
+                 "ThreadPool::Wait called from a pool task; use a "
+                 "cooperative TaskGroup::Wait instead");
+    lockrank::AssertNoneHeld("ThreadPool::Wait entered");
     MutexLock lock(mutex_);
     while (pending_ != 0) all_done_.Wait(mutex_);
   }
@@ -83,6 +95,7 @@ class ThreadPool {
 
  private:
   void WorkerLoop() EXCLUDES(mutex_) {
+    tls_is_pool_worker = true;
     while (true) {
       std::function<void()> task;
       {
@@ -104,7 +117,12 @@ class ThreadPool {
     }
   }
 
-  Mutex mutex_;
+  // True on threads owned by *any* ThreadPool. A per-pool flag would miss
+  // nothing today (there is one global pool), and a cross-pool blocking wait
+  // is just as much a bug under pool nesting.
+  static inline thread_local bool tls_is_pool_worker = false;
+
+  Mutex mutex_{LockRank::kThreadPoolQueue};
   CondVar work_available_;
   CondVar all_done_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);

@@ -60,6 +60,11 @@ class ConcurrentChainingMap {
   explicit ConcurrentChainingMap(size_t expected_size)
       : buckets_(static_cast<size_t>(NextPowerOfTwo(expected_size + 1))),
         mask_(buckets_.size() - 1) {
+    // Always-on: every concurrent probe indexes by `hash & mask_`, so a
+    // non-power-of-two bucket array would alias buckets for the whole run.
+    // The array is fixed for the map's lifetime — this is the one place the
+    // invariant can be enforced before publication.
+    MEMAGG_CHECK(!buckets_.empty() && (buckets_.size() & mask_) == 0);
     for (auto& head : buckets_) head.store(nullptr, std::memory_order_relaxed);
   }
 

@@ -60,6 +60,11 @@ class CuckooMap {
     buckets_.assign(std::max<size_t>(buckets, 2), Bucket{});
     mask_ = buckets_.size() - 1;
     locks_ = std::make_unique<SpinLock[]>(kNumLocks);
+    // Same-rank family: StripePair acquires two stripes in index order,
+    // which is address order within this one array (see AllowsSameRank).
+    for (size_t s = 0; s < kNumLocks; ++s) {
+      locks_[s].SetRank(LockRank::kCuckooStripe);
+    }
   }
 
   CuckooMap(const CuckooMap&) = delete;
@@ -420,8 +425,9 @@ class CuckooMap {
   std::vector<Bucket> buckets_ GUARDED_BY(resize_mutex_);
   size_t mask_ GUARDED_BY(resize_mutex_) = 0;
   std::unique_ptr<SpinLock[]> locks_;
-  mutable SharedMutex resize_mutex_;
-  Mutex eviction_mutex_ ACQUIRED_AFTER(resize_mutex_);
+  mutable SharedMutex resize_mutex_{LockRank::kCuckooResize};
+  Mutex eviction_mutex_ ACQUIRED_AFTER(resize_mutex_){
+      LockRank::kCuckooEviction};
   std::atomic<size_t> size_{0};
   std::atomic<size_t> kicks_{0};
 };

@@ -45,6 +45,7 @@ class StripedMap {
     MEMAGG_CHECK(num_stripes >= 1);
     stripes_.reserve(num_stripes_);
     for (size_t s = 0; s < num_stripes_; ++s) {
+      locks_[s].SetRank(LockRank::kMapStripe);
       stripes_.push_back(
           std::make_unique<InnerMap>(expected_size / num_stripes_ + 1));
     }

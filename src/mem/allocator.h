@@ -275,7 +275,10 @@ class PoolAllocator {
   /// Binds a fresh (unused) pool to a borrowed arena; used to point
   /// default-constructed per-worker pool slots at their worker's arena.
   void Attach(Arena* arena) {
-    MEMAGG_DCHECK(owned_ == nullptr && free_ == nullptr);
+    // Always-on: re-attaching a used pool would recycle freelist nodes that
+    // live in the *old* arena into structures tied to the new one — a
+    // use-after-free once the old arena resets, mid concurrent build.
+    MEMAGG_CHECK(owned_ == nullptr && free_ == nullptr);
     arena_ = arena;
   }
 

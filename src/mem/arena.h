@@ -163,7 +163,10 @@ class Arena {
                               : kMaxChunkBytes;
     }
     char* aligned = AlignUp(cursor_, align);
-    MEMAGG_DCHECK(static_cast<size_t>(limit_ - aligned) >= bytes);
+    // Always-on (cold grow path): a short chunk here means the returned
+    // block overruns into ::operator new's heap — silent corruption under
+    // the concurrent builds that bump worker arenas in parallel.
+    MEMAGG_CHECK(static_cast<size_t>(limit_ - aligned) >= bytes);
     bytes_used_ += static_cast<uint64_t>(aligned - cursor_) + bytes;
     cursor_ = aligned + bytes;
     return aligned;

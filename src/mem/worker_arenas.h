@@ -42,7 +42,9 @@ class WorkerArenas {
   /// returned arena is single-threaded: only that worker allocates from it
   /// during a parallel loop.
   Arena& ForWorker(int worker) {
-    MEMAGG_DCHECK(worker >= 0 && worker < num_workers());
+    // Always-on: an out-of-range slot is out-of-bounds vector access in a
+    // path where two workers would then bump the same arena concurrently.
+    MEMAGG_CHECK(worker >= 0 && worker < num_workers());
     return slots_[static_cast<size_t>(worker)]->arena;
   }
 

@@ -165,7 +165,11 @@ class StatsRegistry {
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
   QueryStats& WorkerShard(int worker) {
-    return shards_[static_cast<size_t>(worker) % shards_.size()].stats;
+    // Hard bounds check (not a modulo wrap): an out-of-range worker id
+    // aliasing another worker's shard silently breaks the single-writer
+    // contract above — two "slots" racing unsynchronized on one QueryStats.
+    MEMAGG_CHECK(worker >= 0 && worker < num_shards());
+    return shards_[static_cast<size_t>(worker)].stats;
   }
 
   /// Merged snapshot of every shard.

@@ -1,0 +1,108 @@
+#include "util/lock_rank.h"
+
+#if defined(MEMAGG_LOCK_RANK)
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace memagg {
+namespace lockrank {
+namespace {
+
+struct Held {
+  const void* lock;
+  LockRank rank;
+};
+
+/// Per-thread stack of held locks, in acquisition order. A vector (not a
+/// fixed array) because the cuckoo eviction path can hold resize + eviction
+/// + two stripes, and tests push deeper chains on purpose.
+thread_local std::vector<Held> tls_held;
+
+[[noreturn]] void Fail(const char* what, LockRank acquiring,
+                       const void* lock) {
+  std::fprintf(stderr,
+               "MEMAGG_LOCK_RANK violation: %s (acquiring rank %d, lock %p)\n"
+               "held by this thread (acquisition order):\n",
+               what, static_cast<int>(acquiring), lock);
+  for (const Held& held : tls_held) {
+    std::fprintf(stderr, "  rank %4d  lock %p\n",
+                 static_cast<int>(held.rank), held.lock);
+  }
+  std::abort();
+}
+
+}  // namespace
+
+void OnAcquire(const void* lock, LockRank rank, bool try_acquire) {
+  for (const Held& held : tls_held) {
+    if (held.lock == lock) {
+      // None of the wrapped primitives are recursive: re-acquisition is a
+      // guaranteed self-deadlock, caught here before the real lock call.
+      Fail("re-acquiring a lock this thread already holds", rank, lock);
+    }
+  }
+  if (rank != LockRank::kUnranked && !try_acquire) {
+    // The ordering rule compares against the highest ranked entry held; for
+    // same-rank stripe protocols the *latest* entry of that rank carries the
+    // address to order against, so ties prefer the later entry.
+    const Held* top = nullptr;
+    for (const Held& held : tls_held) {
+      if (held.rank == LockRank::kUnranked) continue;
+      if (top == nullptr || held.rank >= top->rank) top = &held;
+    }
+    if (top != nullptr) {
+      if (rank < top->rank) {
+        Fail("rank inversion: acquiring a lower rank than one already held",
+             rank, lock);
+      }
+      if (rank == top->rank) {
+        if (!AllowsSameRank(rank)) {
+          Fail("same-rank acquisition on a rank without a same-rank protocol",
+               rank, lock);
+        }
+        if (lock <= top->lock) {
+          Fail("same-rank acquisition out of address order", rank, lock);
+        }
+      }
+    }
+  }
+  tls_held.push_back({lock, rank});
+}
+
+void OnRelease(const void* lock) {
+  // Search from the back: releases are almost always LIFO, but manual
+  // Unlock/Lock dances (TaskGroup::State::DrainLocked) may release out of
+  // order, which is legal.
+  for (size_t i = tls_held.size(); i-- > 0;) {
+    if (tls_held[i].lock == lock) {
+      tls_held.erase(tls_held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+  Fail("releasing a lock this thread does not hold", LockRank::kUnranked,
+       lock);
+}
+
+void AssertNoneHeld(const char* what) {
+  if (tls_held.empty()) return;
+  std::fprintf(stderr,
+               "MEMAGG_LOCK_RANK violation: %s while holding %zu lock(s) — "
+               "a blocking or cooperative wait under a lock deadlocks as "
+               "soon as a drained task wants that lock.\n",
+               what, tls_held.size());
+  for (const Held& held : tls_held) {
+    std::fprintf(stderr, "  rank %4d  lock %p\n",
+                 static_cast<int>(held.rank), held.lock);
+  }
+  std::abort();
+}
+
+int HeldCount() { return static_cast<int>(tls_held.size()); }
+
+}  // namespace lockrank
+}  // namespace memagg
+
+#endif  // MEMAGG_LOCK_RANK

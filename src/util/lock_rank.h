@@ -1,0 +1,101 @@
+// Lock ranks: a total order over every lock in memagg, plus a debug-mode
+// runtime enforcer that turns deadlock freedom into a checked property.
+//
+// The Clang thread-safety annotations (util/thread_annotations.h) prove
+// *which* lock guards *what*; they say nothing about the *order* locks are
+// taken in. A cycle in the acquires-while-holding relation is a deadlock
+// waiting for the right interleaving, so every lock declares a LockRank and
+// the rule is: a thread may only acquire a lock whose rank is strictly
+// greater than every rank it already holds. Ranks ascend from the scheduling
+// substrate down to leaf locks, mirroring the call direction (schedulers
+// call into operators call into maps, never back up).
+//
+// Two deliberate relaxations:
+//   * kUnranked locks (the default for wrappers constructed without a rank —
+//     tests, scratch code) are recorded for re-acquisition detection but are
+//     exempt from the ordering check.
+//   * Ranks listed by AllowsSameRank() may be held several at a time, but
+//     only in ascending *address* order — the classic stripe-lock protocol
+//     (CuckooMap::StripePair locks its two stripes in index order, and the
+//     stripes live in one array, so index order is address order).
+//
+// Enforcement (cmake -DMEMAGG_LOCK_RANK=ON) keeps a per-thread stack of
+// held (lock, rank) entries; an out-of-order acquisition, a same-rank
+// acquisition outside the stripe protocol, re-acquiring a held lock, or
+// blocking in TaskGroup::Wait/ThreadPool::Wait while holding any lock
+// aborts with both ranks named. The static counterpart is
+// tools/astlint/astlint.py, which extracts the whole-repo
+// acquires-while-holding graph from the sources and fails CI on any cycle
+// or rank inversion — the enforcer checks the orders that ran, astlint
+// checks the orders that could.
+//
+// The rank map (which lock holds which rank and why) is documented in
+// docs/static_analysis.md; keep the two in sync.
+
+#ifndef MEMAGG_UTIL_LOCK_RANK_H_
+#define MEMAGG_UTIL_LOCK_RANK_H_
+
+namespace memagg {
+
+/// One level per lock (or per lock family, for stripe arrays). Numeric gaps
+/// leave room to slot new locks between existing levels without renumbering.
+enum class LockRank : int {
+  kUnranked = 0,  ///< Opt-out: recorded but not ordered (tests, scratch).
+
+  // Scheduling substrate. These are never held while calling into operator
+  // or structure code (task bodies run with every scheduler lock released),
+  // so everything below may submit work without inverting.
+  kSchedulerPool = 100,   ///< TaskScheduler::pool_mutex_ (lazy pool init).
+  kTaskGroup = 200,       ///< TaskGroup::State::mutex (queue + in-flight).
+  kThreadPoolQueue = 300, ///< ThreadPool::mutex_ (shared FIFO queue).
+
+  // Concurrent hash structures. The cuckoo chain resize -> eviction ->
+  // stripe is the deepest real nesting in the repo.
+  kCuckooResize = 400,    ///< CuckooMap::resize_mutex_ (bucket array).
+  kCuckooEviction = 410,  ///< CuckooMap::eviction_mutex_ (BFS paths).
+  kCuckooStripe = 450,    ///< CuckooMap::locks_[] — lockrank:same-rank(address-ordered)
+  kMapStripe = 500,       ///< StripedMap::locks_[] (one at a time).
+
+  // Leaf locks: nothing is ever acquired under these.
+  kAggregateState = 600,  ///< Per-group holistic aggregate buffers.
+};
+
+/// Ranks that may be held several at a time, in ascending address order.
+constexpr bool AllowsSameRank(LockRank rank) {
+  return rank == LockRank::kCuckooStripe;
+}
+
+namespace lockrank {
+
+#if defined(MEMAGG_LOCK_RANK)
+
+/// Records `lock` as held by this thread and checks the ordering rule.
+/// `try_acquire` entries are recorded but exempt from the ordering check
+/// (a failed try_lock cannot deadlock; backoff protocols legitimately probe
+/// out of order).
+void OnAcquire(const void* lock, LockRank rank, bool try_acquire = false);
+
+/// Removes `lock` from this thread's held stack; aborts if it is not held.
+void OnRelease(const void* lock);
+
+/// Aborts if this thread holds any lock (ranked or not). Called on entry to
+/// cooperative/blocking waits: a thread that drains other tasks (or parks)
+/// while holding a lock deadlocks as soon as one of those tasks wants it.
+void AssertNoneHeld(const char* what);
+
+/// Number of locks this thread currently holds (tests).
+int HeldCount();
+
+#else  // !MEMAGG_LOCK_RANK — zero-overhead no-ops.
+
+inline void OnAcquire(const void*, LockRank, bool = false) {}
+inline void OnRelease(const void*) {}
+inline void AssertNoneHeld(const char*) {}
+inline int HeldCount() { return 0; }
+
+#endif  // MEMAGG_LOCK_RANK
+
+}  // namespace lockrank
+}  // namespace memagg
+
+#endif  // MEMAGG_UTIL_LOCK_RANK_H_

@@ -6,6 +6,11 @@
 // memagg therefore uses these wrappers instead; GUARDED_BY(mu) members are
 // then machine-checked against MutexLock scopes at compile time. The wrappers
 // are zero-overhead: each call forwards to the underlying std primitive.
+//
+// Each wrapper also carries a LockRank (util/lock_rank.h) fixing its position
+// in the repo-wide acquisition order. Under -DMEMAGG_LOCK_RANK=ON the rank is
+// stored and every acquisition/release is checked against a per-thread held
+// stack; in normal builds the rank argument compiles away entirely.
 
 #ifndef MEMAGG_UTIL_MUTEX_H_
 #define MEMAGG_UTIL_MUTEX_H_
@@ -14,6 +19,7 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 namespace memagg {
@@ -22,16 +28,46 @@ namespace memagg {
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(LockRank rank) { SetRank(rank); }
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    lockrank::OnAcquire(this, Rank());
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lockrank::OnRelease(this);
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockrank::OnAcquire(this, Rank(), /*try_acquire=*/true);
+    return true;
+  }
 
  private:
   friend class CondVar;
+
+  void SetRank(LockRank rank) {
+#if defined(MEMAGG_LOCK_RANK)
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+  LockRank Rank() const {
+#if defined(MEMAGG_LOCK_RANK)
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+
   std::mutex mu_;
+#if defined(MEMAGG_LOCK_RANK)
+  LockRank rank_{LockRank::kUnranked};
+#endif
 };
 
 /// RAII exclusive lock over a Mutex.
@@ -58,6 +94,11 @@ class CondVar {
 
   /// Caller must hold `mu`; holds it again when Wait returns. Use in the
   /// standard `while (!predicate) cv.Wait(mu);` loop.
+  ///
+  /// The lock-rank held stack is deliberately left untouched across the
+  /// wait: the same capability is held again on return, and the transient
+  /// release is invisible to every other lock this thread might order
+  /// against (the stack is per-thread).
   void Wait(Mutex& mu) REQUIRES(mu) {
     // Adopt the already-held std::mutex for the duration of the wait, then
     // release the std::unique_lock's ownership claim without unlocking: the
@@ -75,19 +116,55 @@ class CondVar {
 };
 
 /// Annotated reader/writer mutex (wraps std::shared_mutex).
+///
+/// Shared and exclusive acquisitions occupy the same rank slot: a reader
+/// still orders against every other lock the thread holds, and re-acquiring
+/// the shared side on a thread that already holds it (shared or exclusive)
+/// is flagged — writer-preferring implementations deadlock that pattern.
 class CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(LockRank rank) { SetRank(rank); }
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+    lockrank::OnAcquire(this, Rank());
+    mu_.lock();
+  }
+  void Unlock() RELEASE() {
+    lockrank::OnRelease(this);
+    mu_.unlock();
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    lockrank::OnAcquire(this, Rank());
+    mu_.lock_shared();
+  }
+  void UnlockShared() RELEASE_SHARED() {
+    lockrank::OnRelease(this);
+    mu_.unlock_shared();
+  }
 
  private:
+  void SetRank(LockRank rank) {
+#if defined(MEMAGG_LOCK_RANK)
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+  LockRank Rank() const {
+#if defined(MEMAGG_LOCK_RANK)
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+
   std::shared_mutex mu_;
+#if defined(MEMAGG_LOCK_RANK)
+  LockRank rank_{LockRank::kUnranked};
+#endif
 };
 
 /// RAII exclusive (writer) lock over a SharedMutex.

@@ -13,6 +13,7 @@
 
 #include <atomic>
 
+#include "util/lock_rank.h"
 #include "util/thread_annotations.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
@@ -26,10 +27,23 @@ namespace memagg {
 class CAPABILITY("mutex") SpinLock {
  public:
   SpinLock() = default;
+  explicit SpinLock(LockRank rank) { SetRank(rank); }
   SpinLock(const SpinLock&) = delete;
   SpinLock& operator=(const SpinLock&) = delete;
 
+  /// Assigns the rank after construction, for stripe arrays built with
+  /// std::make_unique<SpinLock[]> (array new only default-constructs). Must
+  /// be called before the array is published to any other thread.
+  void SetRank(LockRank rank) {
+#if defined(MEMAGG_LOCK_RANK)
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+
   void lock() ACQUIRE() {
+    lockrank::OnAcquire(this, Rank());
     while (true) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       while (locked_.load(std::memory_order_relaxed)) {
@@ -39,13 +53,28 @@ class CAPABILITY("mutex") SpinLock {
   }
 
   bool try_lock() TRY_ACQUIRE(true) {
-    return !locked_.load(std::memory_order_relaxed) &&
-           !locked_.exchange(true, std::memory_order_acquire);
+    if (!locked_.load(std::memory_order_relaxed) &&
+        !locked_.exchange(true, std::memory_order_acquire)) {
+      lockrank::OnAcquire(this, Rank(), /*try_acquire=*/true);
+      return true;
+    }
+    return false;
   }
 
-  void unlock() RELEASE() { locked_.store(false, std::memory_order_release); }
+  void unlock() RELEASE() {
+    lockrank::OnRelease(this);
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
+  LockRank Rank() const {
+#if defined(MEMAGG_LOCK_RANK)
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+
   static void Pause() {
 #if defined(__x86_64__) || defined(_M_X64)
     // lint:allow(raw-simd-intrinsic): spin-wait scheduling hint, not a data
@@ -54,6 +83,9 @@ class CAPABILITY("mutex") SpinLock {
   }
 
   std::atomic<bool> locked_{false};
+#if defined(MEMAGG_LOCK_RANK)
+  LockRank rank_{LockRank::kUnranked};
+#endif
 };
 
 /// RAII guard over a SpinLock, visible to the thread-safety analysis

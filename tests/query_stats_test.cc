@@ -99,10 +99,13 @@ TEST(QueryStatsTest, RegistryShardsAreIndependentUntilCollect) {
   EXPECT_EQ(registry.Collect().Get(StatCounter::kMorselsClaimed), 0u);
 }
 
-TEST(QueryStatsTest, RegistryWrapsOutOfRangeWorkerIds) {
+// Out-of-range worker ids used to wrap modulo num_shards, silently aliasing
+// two "workers" onto one shard and breaking the single-writer contract. They
+// now fail loudly in all build modes.
+TEST(QueryStatsDeathTest, RegistryRejectsOutOfRangeWorkerIds) {
   StatsRegistry registry(2);
-  registry.WorkerShard(5).Add(StatCounter::kMorselsClaimed, 1);  // Shard 1.
-  EXPECT_EQ(registry.Collect().Get(StatCounter::kMorselsClaimed), 1u);
+  EXPECT_DEATH(registry.WorkerShard(5), "MEMAGG_CHECK");
+  EXPECT_DEATH(registry.WorkerShard(-1), "MEMAGG_CHECK");
 }
 
 TEST(QueryStatsTest, ToJsonEmitsOnlyNonZeroFields) {

@@ -1,0 +1,4 @@
+"""astlint: AST-grounded concurrency linting for memagg.
+
+See astlint.py for the CLI and docs/static_analysis.md for the rule catalog.
+"""

@@ -1,0 +1,420 @@
+"""libclang AST frontend for astlint.
+
+Parses translation units through clang.cindex (over compile_commands.json
+for whole-repo runs, or standalone for fixtures) and reduces the cursor
+tree to the same event stream the lexical frontend produces: guard
+constructions, member Lock/Unlock calls with real receivers, REQUIRES()
+entry conditions, lambdas with a `const Morsel&` parameter,
+new-expressions, and aggregator constructions. Scope structure comes from
+CompoundStmt extents rather than raw braces; the same stack replay as
+lex_frontend then turns events + scopes into acquires-while-holding
+edges, so both frontends share one edge semantics (and one fixture
+suite — `astlint.py --self-test` runs against whichever frontend is
+active).
+
+Availability is probed at runtime: clang.cindex (the Debian python3-clang
+package) plus a loadable libclang. When either is missing the caller is
+expected to skip loudly or fall back to the lexical frontend — this module
+never hard-fails at import.
+"""
+
+import glob
+import re
+from pathlib import Path
+
+from model import (AcquireEdge, AggregatorConstruction, FileModel,
+                   GUARD_CLASSES, MorselFlag, SKIP_FILES, STRIPE_GUARD,
+                   canon_lock)
+import lex_frontend
+
+LOCK_METHODS = {
+    "Lock": "acquire", "LockShared": "acquire", "lock": "acquire",
+    "TryLock": "try", "try_lock": "try",
+    "Unlock": "release", "UnlockShared": "release", "unlock": "release",
+}
+BLOCKING_GUARDS = set(lex_frontend.BLOCKING_GUARDS)
+IO_CALLS = {"printf", "fprintf", "fopen", "fwrite", "fputs", "puts"}
+IO_STREAMS = {"cout", "cerr"}
+AGG_NAME_RE = re.compile(r"\b([A-Z]\w*Aggregator)\s*<")
+REQUIRES_RE = lex_frontend.REQUIRES_RE
+
+_CINDEX = None
+_CINDEX_ERROR = None
+
+
+def load_cindex():
+    """Returns (cindex module or None, reason string when None). Caches."""
+    global _CINDEX, _CINDEX_ERROR
+    if _CINDEX is not None or _CINDEX_ERROR is not None:
+        return _CINDEX, _CINDEX_ERROR
+    try:
+        from clang import cindex
+    except ImportError:
+        _CINDEX_ERROR = ("python3 clang bindings not importable "
+                         "(apt install python3-clang)")
+        return None, _CINDEX_ERROR
+    try:
+        cindex.Index.create()
+    except Exception:  # libclang.so not on the default search path.
+        candidates = sorted(
+            glob.glob("/usr/lib/llvm-*/lib/libclang-*.so*")
+            + glob.glob("/usr/lib/llvm-*/lib/libclang.so*")
+            + glob.glob("/usr/lib/*/libclang-*.so*"),
+            reverse=True)
+        for candidate in candidates:
+            try:
+                cindex.Config.set_library_file(candidate)
+                cindex.Index.create()
+                break
+            except Exception:
+                cindex.Config.loaded = False
+        else:
+            _CINDEX_ERROR = ("clang.cindex importable but no loadable "
+                             "libclang shared library found")
+            return None, _CINDEX_ERROR
+    _CINDEX = cindex
+    return _CINDEX, None
+
+
+def available():
+    """(bool, reason-or-None)."""
+    cindex, error = load_cindex()
+    return cindex is not None, error
+
+
+# --- Token helpers -----------------------------------------------------------
+
+def _spellings(cursor):
+    return [t.spelling for t in cursor.get_tokens()]
+
+
+def _receiver_of_call(spellings, method):
+    """Receiver text of `state_ -> mutex . Lock ( )` given method='Lock'."""
+    try:
+        i = len(spellings) - 1 - spellings[::-1].index(method)
+    except ValueError:
+        return None
+    receiver = spellings[:i]
+    if receiver and receiver[-1] in ("->", "."):
+        receiver = receiver[:-1]
+    return "".join(receiver) if receiver else None
+
+
+def _ctor_args(spellings):
+    """Argument expressions of a declaration's initializer: the token span
+    between the first top-level '('/'{' and its match, split on top-level
+    commas."""
+    depth = 0
+    args, current = [], []
+    opened = False
+    for s in spellings:
+        if not opened:
+            if s in "({":
+                opened = True
+                depth = 1
+            continue
+        if s in "({[":
+            depth += 1
+        elif s in ")}]":
+            depth -= 1
+            if depth == 0:
+                break
+        if depth == 1 and s == ",":
+            args.append("".join(current))
+            current = []
+        else:
+            current.append(s)
+    if current:
+        args.append("".join(current))
+    return [a for a in args if a]
+
+
+# --- Per-file accumulation ---------------------------------------------------
+
+class _FileState:
+    """Events for one source file. Sets dedupe the same site seen from the
+    many TUs that include a header."""
+
+    def __init__(self, path):
+        self.path = path
+        self.scopes = set()        # (start_offset, end_offset)
+        self.lock_events = set()   # (offset, kind, name, line)
+        self.flag_events = set()   # (offset, kind, detail, line)
+        self.lambda_spans = set()  # (start_offset, end_offset)
+        self.aggs = {}             # line -> name
+
+    def to_model(self):
+        actions = []
+        for start, end in self.scopes:
+            actions.append((start, 0, "{", None))
+            actions.append((end, 0, "}", None))
+        for offset, kind, name, line in self.lock_events:
+            actions.append((offset, 1, kind, (name, line)))
+        edges = _replay(actions, self.path)
+        flags = []
+        for offset, kind, detail, line in sorted(self.flag_events):
+            if any(s <= offset < e for s, e in self.lambda_spans):
+                flags.append(MorselFlag(kind, detail, self.path, line))
+        ctors = [AggregatorConstruction(name, self.path, line)
+                 for line, name in sorted(self.aggs.items())]
+        return FileModel(path=self.path, edges=edges, morsel_flags=flags,
+                         aggregator_constructions=ctors)
+
+
+def _replay(actions, path):
+    """Same stack replay as lex_frontend.replay_scopes, over CompoundStmt
+    extents instead of raw braces. REQUIRES entry conditions are injected
+    as acquire events at the body-open offset (priority after the open),
+    so they live exactly for the body scope."""
+    actions = sorted(actions, key=lambda a: (a[0], a[1], a[2] != "{"))
+    stack = [[]]
+    edges = []
+    for _, _, kind, payload in actions:
+        if kind == "{":
+            stack.append([])
+        elif kind == "}":
+            if len(stack) > 1:
+                stack.pop()
+        elif kind in ("acquire", "try", "entry"):
+            name, line = payload
+            if kind == "acquire":
+                for scope in stack:
+                    for held in scope:
+                        edges.append(AcquireEdge(held, name, path, line))
+            stack[-1].append(name)
+        else:  # release
+            name, _ = payload
+            for scope in reversed(stack):
+                if name in scope:
+                    for i in range(len(scope) - 1, -1, -1):
+                        if scope[i] == name:
+                            del scope[i]
+                            break
+                    break
+    seen, unique = set(), []
+    for edge in edges:
+        if edge not in seen:
+            seen.add(edge)
+            unique.append(edge)
+    return unique
+
+
+# --- Cursor walk -------------------------------------------------------------
+
+def _function_entry_locks(cursor, kinds, file_name):
+    """For a function/method definition annotated REQUIRES(x): yields
+    (body_open_offset, lock_name). The annotation is macro-expanded by the
+    time clang sees it, so it is recovered from the definition's tokens
+    before the body brace."""
+    body = next((c for c in cursor.get_children()
+                 if c.kind == kinds.COMPOUND_STMT), None)
+    if body is None:
+        return
+    body_offset = body.extent.start.offset
+    head = []
+    for token in cursor.get_tokens():
+        if token.extent.start.offset >= body_offset:
+            break
+        head.append(token.spelling)
+    for match in REQUIRES_RE.finditer(" ".join(head)):
+        for arg in match.group(1).split(","):
+            name = canon_lock(arg.strip(), file_name)
+            if name:
+                yield body_offset, name
+
+
+def _walk_tu(cindex, tu, states, path_filter):
+    kinds = cindex.CursorKind
+    function_kinds = (kinds.FUNCTION_DECL, kinds.CXX_METHOD,
+                      kinds.CONSTRUCTOR, kinds.DESTRUCTOR,
+                      kinds.FUNCTION_TEMPLATE)
+    for cursor in tu.cursor.walk_preorder():
+        location = cursor.location
+        if location.file is None:
+            continue
+        rel = path_filter(location.file.name)
+        if rel is None:
+            continue
+        state = states.setdefault(rel, _FileState(rel))
+        extent = cursor.extent
+        offset = extent.start.offset
+        line = location.line
+        kind = cursor.kind
+        file_name = Path(rel).name
+
+        if kind == kinds.COMPOUND_STMT:
+            state.scopes.add((offset, extent.end.offset))
+        elif kind in function_kinds:
+            if cursor.is_definition():
+                for body_offset, name in _function_entry_locks(
+                        cursor, kinds, file_name):
+                    state.lock_events.add((body_offset, "entry", name, line))
+        elif kind == kinds.LAMBDA_EXPR:
+            params = [c for c in cursor.get_children()
+                      if c.kind == kinds.PARM_DECL]
+            if any("Morsel" in p.type.spelling for p in params):
+                state.lambda_spans.add((offset, extent.end.offset))
+        elif kind == kinds.CALL_EXPR:
+            spelling = cursor.spelling
+            if spelling in LOCK_METHODS:
+                receiver = _receiver_of_call(_spellings(cursor), spelling)
+                if receiver:
+                    name = canon_lock(receiver, file_name)
+                    state.lock_events.add(
+                        (offset, LOCK_METHODS[spelling], name, line))
+                    if (LOCK_METHODS[spelling] == "acquire"
+                            and spelling != "lock"):
+                        # Parking acquisition (Mutex::Lock/LockShared);
+                        # SpinLock::lock spins and is morsel-legal.
+                        state.flag_events.add(
+                            (offset, "blocking-lock",
+                             f"blocking {spelling}() call", line))
+            elif spelling == "Wait":
+                state.flag_events.add(
+                    (offset, "wait", "Wait() on a task group or pool", line))
+            elif spelling in IO_CALLS:
+                state.flag_events.add((offset, "io", "I/O call", line))
+            elif spelling in ("AddPhase", "WorkerShard"):
+                state.flag_events.add(
+                    (offset, "stats", "stats recording", line))
+            elif spelling == "make_unique":
+                match = AGG_NAME_RE.search(
+                    cursor.type.spelling + " " + "".join(_spellings(cursor)))
+                if match:
+                    state.aggs.setdefault(line, match.group(1))
+        elif kind in (kinds.DECL_REF_EXPR, kinds.MEMBER_REF_EXPR,
+                      kinds.TYPE_REF):
+            ref = cursor.spelling.split("::")[-1].split("<")[0].strip()
+            if ref in IO_STREAMS or ref == "ofstream":
+                state.flag_events.add((offset, "io", "I/O call", line))
+            elif ref in ("StatCounter", "PhaseTimer"):
+                state.flag_events.add(
+                    (offset, "stats", "stats recording", line))
+        elif kind == kinds.CXX_NEW_EXPR:
+            toks = _spellings(cursor)
+            if len(toks) >= 2 and toks[0] == "new" and toks[1] != "(":
+                state.flag_events.add(
+                    (offset, "global-new",
+                     "allocating `new` (global allocator lock)", line))
+                match = AGG_NAME_RE.search(" ".join(toks))
+                if match:
+                    state.aggs.setdefault(line, match.group(1))
+        elif kind == kinds.CXX_CONSTRUCT_EXPR:
+            type_spelling = cursor.type.spelling
+            guard = next((g for g in GUARD_CLASSES
+                          if re.search(rf"\b{g}\b", type_spelling)), None)
+            if guard is not None:
+                for arg in _ctor_args(_spellings(cursor)):
+                    if arg.startswith("std::"):
+                        continue
+                    name = canon_lock(arg, file_name)
+                    if name:
+                        state.lock_events.add((offset, "acquire", name, line))
+                if guard in BLOCKING_GUARDS:
+                    state.flag_events.add(
+                        (offset, "blocking-lock",
+                         f"{guard} acquisition (parks the worker)", line))
+            elif re.search(rf"\b{STRIPE_GUARD}\b", type_spelling):
+                state.lock_events.add(
+                    (offset, "acquire", canon_lock("first_", file_name),
+                     line))
+            else:
+                match = AGG_NAME_RE.search(type_spelling)
+                if match:
+                    state.aggs.setdefault(line, match.group(1))
+
+
+# --- Entry points ------------------------------------------------------------
+
+def _clean_args(command):
+    """Compiler args safe to hand to libclang: drop the compiler itself,
+    -c/-o pairs, and the input file."""
+    items = list(command.arguments)
+    source = items[-1]
+    args = []
+    skip_next = False
+    for arg in items[1:]:
+        if skip_next:
+            skip_next = False
+            continue
+        if arg in ("-c", source):
+            continue
+        if arg == "-o":
+            skip_next = True
+            continue
+        args.append(arg)
+    return args
+
+
+def extract_text(pretend_path, text, extra_args=()):
+    """Parses standalone text (fixture self-tests) as `pretend_path`."""
+    cindex, error = load_cindex()
+    if cindex is None:
+        raise RuntimeError(error)
+    index = cindex.Index.create()
+    tu = index.parse(pretend_path,
+                     args=["-std=c++20", "-x", "c++"] + list(extra_args),
+                     unsaved_files=[(pretend_path, text)])
+    states = {}
+    _walk_tu(cindex, tu, states,
+             lambda f: pretend_path if f == pretend_path else None)
+    state = states.get(pretend_path, _FileState(pretend_path))
+    return state.to_model()
+
+
+def extract_repo(repo, build_dir, log=lambda msg: None):
+    """Parses every TU under src/bench/examples from compile_commands.json,
+    plus a synthetic TU including every src/ header (headers only included
+    by tests would otherwise be invisible). Returns FileModels for repo
+    files, merged across TUs."""
+    cindex, error = load_cindex()
+    if cindex is None:
+        raise RuntimeError(error)
+    repo = Path(repo).resolve()
+
+    def path_filter(file_name):
+        try:
+            rel = Path(file_name).resolve().relative_to(repo).as_posix()
+        except ValueError:
+            return None
+        if rel in SKIP_FILES or not rel.startswith(
+                ("src/", "bench/", "examples/")):
+            return None
+        return rel
+
+    db = cindex.CompilationDatabase.fromDirectory(str(build_dir))
+    index = cindex.Index.create()
+    states = {}
+    commands = []
+    for command in db.getAllCompileCommands():
+        source = Path(command.filename)
+        if not source.is_absolute():
+            source = Path(command.directory) / source
+        if path_filter(str(source)) is not None:
+            commands.append((str(source), _clean_args(command)))
+
+    sample_args = commands[0][1] if commands else ["-std=c++20"]
+    for source, args in commands:
+        try:
+            tu = index.parse(source, args=args)
+        except cindex.TranslationUnitLoadError as exc:
+            log(f"astlint: failed to parse {source}: {exc}")
+            continue
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            log(f"astlint: {source}: {fatal[0].spelling} "
+                "(continuing with partial AST)")
+        _walk_tu(cindex, tu, states, path_filter)
+
+    headers = sorted(p.relative_to(repo).as_posix()
+                     for p in (repo / "src").rglob("*.h")
+                     if p.relative_to(repo).as_posix() not in SKIP_FILES)
+    if headers:
+        synthetic = "".join(f'#include "{h[len("src/"):]}"\n'
+                            for h in headers)
+        tu = index.parse("astlint_all_headers.cc", args=sample_args,
+                         unsaved_files=[("astlint_all_headers.cc",
+                                         synthetic)])
+        _walk_tu(cindex, tu, states, path_filter)
+
+    return [state.to_model() for _, state in sorted(states.items())]

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""astlint: AST-grounded concurrency linting over compile_commands.json.
+
+Four rules run over a per-file model extracted by one of two frontends:
+
+  lock-order                    repo-wide acquires-while-holding graph must
+                                be cycle-free and rank-consistent (ranks
+                                from src/util/lock_rank.h; same-rank only
+                                where the enum sanctions a protocol)
+  blocking-in-morsel-body       no parking lock, Wait(), allocating `new`,
+                                or I/O inside a `const Morsel&` lambda
+  stats-in-morsel-body          no per-morsel stats recording (AST-grounded
+                                twin of the lint_invariants.py regex rule)
+  fixed-aggregator-construction aggregator choice flows through
+                                MakeVectorAggregator / AdaptiveAggregator
+
+Frontends (--mode):
+  ast   libclang over compile_commands.json (CI: apt install clang
+        python3-clang). Skips LOUDLY with exit 0 when unavailable, so the
+        ast-analyze job never silently greenwashes.
+  lex   self-contained lexical fallback, no third-party deps; what local
+        ctest runs.
+  auto  ast if available, else lex with a printed notice (default).
+
+Waivers: `// astlint:allow(rule): reason` on the offending line or the
+line above. A lock-order waiver suppresses the acquisition *edge*, so
+waiving one edge of a cycle breaks the cycle.
+
+Self-test: --self-test replays the planted-violation fixtures under
+tools/astlint/fixtures/ through the active frontend — each must fire its
+rule exactly the expected number of times, fire nothing else, and go
+clean when every reported line is waived. Registered in ctest as
+astlint_selftest.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+import lex_frontend
+import model
+
+REPO = model.REPO
+FIXTURE_DIR = Path(__file__).resolve().parent / "fixtures"
+GATHER_DIRS = ("src", "bench", "examples")
+WAIVER_RE = re.compile(r"//\s*astlint:allow\(([a-z-]+)\)")
+
+# (fixture file, pretend repo path, rule that must fire, expected count).
+# A rule of None asserts the fixture is clean.
+FIXTURES = (
+    ("lock_cycle.cc", "src/exec/lock_cycle_fixture.cc",
+     model.RULE_LOCK_ORDER, 1),
+    ("rank_inversion.cc", "src/exec/rank_inversion_fixture.cc",
+     model.RULE_LOCK_ORDER, 1),
+    ("same_rank.cc", "src/exec/same_rank_fixture.cc",
+     model.RULE_LOCK_ORDER, 1),
+    ("blocking_in_morsel.cc", "src/exec/blocking_fixture.cc",
+     model.RULE_BLOCKING, 4),
+    ("stats_in_morsel.cc", "src/exec/stats_fixture.cc",
+     model.RULE_STATS, 1),
+    ("fixed_aggregator.cc", "src/exec/fixed_agg_fixture.cc",
+     model.RULE_FIXED_AGG, 1),
+    ("clean_ok.cc", "src/exec/clean_fixture.cc", None, 0),
+)
+
+
+def collect_waivers(text):
+    """Maps 1-based line number -> set of waived rules. A waiver covers its
+    own line and the next line."""
+    waived = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in WAIVER_RE.finditer(line):
+            rule = match.group(1)
+            waived.setdefault(lineno, set()).add(rule)
+            waived.setdefault(lineno + 1, set()).add(rule)
+    return waived
+
+
+def apply_waivers(file_model, waived):
+    def live(rule, line):
+        return rule not in waived.get(line, ())
+
+    file_model.edges = [
+        e for e in file_model.edges if live(model.RULE_LOCK_ORDER, e.line)]
+    file_model.morsel_flags = [
+        f for f in file_model.morsel_flags
+        if live(model.RULE_STATS if f.kind == "stats" else model.RULE_BLOCKING,
+                f.line)]
+    file_model.aggregator_constructions = [
+        c for c in file_model.aggregator_constructions
+        if live(model.RULE_FIXED_AGG, c.line)]
+    return file_model
+
+
+def repo_files():
+    for top in GATHER_DIRS:
+        root = REPO / top
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in (".h", ".cc"):
+                rel = path.relative_to(REPO).as_posix()
+                if rel not in model.SKIP_FILES:
+                    yield rel
+
+
+def gather_lex():
+    models = []
+    for rel in repo_files():
+        text = (REPO / rel).read_text(encoding="utf-8")
+        models.append(apply_waivers(lex_frontend.extract(rel, text),
+                                    collect_waivers(text)))
+    return models
+
+
+def gather_ast(build_dir):
+    import ast_frontend
+    models = ast_frontend.extract_repo(REPO, build_dir, log=print)
+    for file_model in models:
+        path = REPO / file_model.path
+        if path.is_file():
+            apply_waivers(file_model,
+                          collect_waivers(path.read_text(encoding="utf-8")))
+    return models
+
+
+# --- Self-test ---------------------------------------------------------------
+
+def run_fixture(extract, pretend, text):
+    file_model = apply_waivers(extract(pretend, text), collect_waivers(text))
+    ranks = model.RankTable.load(
+        REPO, extra_texts=[(Path(pretend).name, text)])
+    return model.run_rules([file_model], ranks)
+
+
+def self_test(extract, frontend_name):
+    failures = []
+    for fixture, pretend, rule, expected in FIXTURES:
+        text = (FIXTURE_DIR / fixture).read_text(encoding="utf-8")
+        violations = run_fixture(extract, pretend, text)
+        hits = [v for v in violations if v.rule == rule]
+        others = [v for v in violations if v.rule != rule]
+        if len(hits) != expected:
+            failures.append(
+                f"{fixture}: expected {expected} {rule} violation(s), "
+                f"got {len(hits)}: {hits}")
+        if others:
+            failures.append(f"{fixture}: unexpected violations: {others}")
+        if rule is not None and len(hits) == expected and expected > 0:
+            lines = text.splitlines()
+            for violation in hits:
+                lines[violation.line - 1] += (
+                    f"  // astlint:allow({rule}): fixture self-test")
+            waived = run_fixture(extract, pretend, "\n".join(lines) + "\n")
+            if waived:
+                failures.append(
+                    f"{fixture}: waivers did not suppress: {waived}")
+        status = "FAIL" if any(f.startswith(fixture) for f in failures) \
+            else "ok"
+        print(f"astlint self-test [{frontend_name}] {fixture}: {status}")
+    for failure in failures:
+        print(f"astlint self-test FAILURE: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# --- CLI ---------------------------------------------------------------------
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="AST-grounded concurrency linting for memagg")
+    parser.add_argument("--mode", choices=("auto", "ast", "lex"),
+                        default="auto")
+    parser.add_argument("-p", "--build-dir", default=str(REPO / "build"),
+                        help="directory containing compile_commands.json "
+                             "(ast mode)")
+    parser.add_argument("--graph-out", metavar="PATH",
+                        help="write the acquires-while-holding graph JSON")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the planted-violation fixtures")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in model.ALL_RULES:
+            print(rule)
+        return 0
+
+    frontend = "lex"
+    if args.mode in ("auto", "ast"):
+        import ast_frontend
+        ok, reason = ast_frontend.available()
+        if ok:
+            frontend = "ast"
+        elif args.mode == "ast":
+            print("=" * 72)
+            print(f"astlint: SKIPPED — AST frontend unavailable: {reason}")
+            print("astlint: install clang + python3-clang to run the "
+                  "AST-grounded analysis; the lexical fallback still runs "
+                  "under ctest.")
+            print("=" * 72)
+            return 0
+        else:
+            print(f"astlint: AST frontend unavailable ({reason}); "
+                  "falling back to the lexical frontend")
+
+    if args.self_test:
+        if frontend == "ast":
+            import ast_frontend
+            extract = ast_frontend.extract_text
+        else:
+            extract = lex_frontend.extract
+        return self_test(extract, frontend)
+
+    if frontend == "ast":
+        build_dir = Path(args.build_dir)
+        if not (build_dir / "compile_commands.json").is_file():
+            if args.mode == "ast":
+                print(f"astlint: error: no compile_commands.json in "
+                      f"{build_dir} (configure with "
+                      f"-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+                      file=sys.stderr)
+                return 2
+            print(f"astlint: no compile_commands.json in {build_dir}; "
+                  "falling back to the lexical frontend")
+            frontend = "lex"
+
+    if frontend == "ast":
+        models = gather_ast(args.build_dir)
+    else:
+        models = gather_lex()
+
+    ranks = model.RankTable.load(REPO)
+    violations = model.run_rules(models, ranks)
+
+    if args.graph_out:
+        Path(args.graph_out).write_text(model.graph_json(models, ranks),
+                                        encoding="utf-8")
+        print(f"astlint: wrote lock graph to {args.graph_out}")
+
+    for violation in violations:
+        print(f"{violation.file}:{violation.line}: [{violation.rule}] "
+              f"{violation.message}")
+    edge_count = sum(len(m.edges) for m in models)
+    print(f"astlint [{frontend}]: {len(models)} file(s), {edge_count} "
+          f"acquires-while-holding edge(s), {len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

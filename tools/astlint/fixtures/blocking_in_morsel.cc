@@ -1,0 +1,50 @@
+// astlint fixture: planted BLOCKING calls inside a morsel body. Each of the
+// four flagged constructs parks or serializes the worker that runs the
+// morsel: a parking mutex, a cross-task wait, the global allocator lock,
+// and stdio.
+//
+// Expected: exactly four blocking-in-morsel-body violations.
+
+struct Morsel {
+  unsigned long index;
+  unsigned long begin;
+  unsigned long end;
+  int worker;
+};
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+struct TaskGroup {
+  void Wait();
+};
+
+extern "C" int printf(const char* fmt, ...);
+
+template <typename Fn>
+void ParallelFor(unsigned long n, Fn fn) {
+  Morsel morsel{0, 0, n, 0};
+  fn(morsel);
+}
+
+Mutex merge_mu;
+
+void RunQuery(TaskGroup& flushers) {
+  unsigned long total = 0;
+  ParallelFor(1024, [&](const Morsel& m) {
+    MutexLock merge(merge_mu);                      // parks the worker
+    long* scratch = new long[m.end - m.begin];      // global allocator lock
+    flushers.Wait();                                // cross-task wait
+    printf("morsel %lu\n", m.index);                // I/O
+    for (unsigned long i = m.begin; i < m.end; ++i) total += scratch[0];
+    delete[] scratch;
+  });
+}

@@ -1,0 +1,89 @@
+// astlint fixture: CLEAN file exercising the legal twins of every rule —
+// strictly ascending rank acquisition, a spinning guard inside a morsel
+// body (the sanctioned protection for shared aggregate state), local
+// accumulation instead of per-morsel stats, and aggregator construction
+// through the AdaptiveAggregator entry point.
+//
+// Expected: zero violations.
+
+enum class LockRank { kUnranked, kTaskGroup, kMapStripe };
+
+struct Mutex {
+  explicit Mutex(LockRank rank);
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+struct SpinLock {
+  void lock();
+  void unlock();
+};
+
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock);
+  ~SpinLockGuard();
+};
+
+struct Morsel {
+  unsigned long index;
+  unsigned long begin;
+  unsigned long end;
+  int worker;
+};
+
+template <typename Fn>
+void ParallelFor(unsigned long n, Fn fn) {
+  Morsel morsel{0, 0, n, 0};
+  fn(morsel);
+}
+
+namespace std {
+template <typename T>
+struct unique_ptr {
+  T* ptr;
+};
+template <typename T, typename... Args>
+unique_ptr<T> make_unique(Args&&... args);
+}  // namespace std
+
+template <typename Agg>
+struct AdaptiveAggregator {
+  Agg state;
+};
+
+struct CountAggregate {
+  unsigned long count = 0;
+};
+
+class CleanPipeline {
+ public:
+  void Drain() {
+    MutexLock group(group_mu_);
+    MutexLock stripe(stripe_mu_);  // 200 -> 500: strictly increasing
+  }
+
+  void Aggregate() {
+    ParallelFor(1024, [this](const Morsel& m) {
+      unsigned long local = m.end - m.begin;  // accumulate locally
+      SpinLockGuard guard(cell_);             // spinning guard: sanctioned
+      rows_ += local;
+    });
+  }
+
+  auto MakeOperator() {
+    return std::make_unique<AdaptiveAggregator<CountAggregate>>();
+  }
+
+ private:
+  Mutex group_mu_{LockRank::kTaskGroup};
+  Mutex stripe_mu_{LockRank::kMapStripe};
+  SpinLock cell_;
+  unsigned long rows_ = 0;
+};

@@ -1,0 +1,32 @@
+// astlint fixture: planted lock-order CYCLE (unranked ABBA deadlock).
+// Self-contained so the AST frontend can parse it with no include paths;
+// the stub guard classes mirror util/mutex.h's shape.
+//
+// Expected: exactly one lock-order violation (cycle alpha_ <-> beta_).
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+class Registry {
+ public:
+  void RegisterThenPublish() {
+    MutexLock reg(alpha_);
+    MutexLock pub(beta_);  // alpha_ -> beta_
+  }
+  void PublishThenRegister() {
+    MutexLock pub(beta_);
+    MutexLock reg(alpha_);  // beta_ -> alpha_: closes the ABBA cycle
+  }
+
+ private:
+  Mutex alpha_;
+  Mutex beta_;
+};

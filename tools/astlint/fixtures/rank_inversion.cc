@@ -1,0 +1,32 @@
+// astlint fixture: planted lock-order RANK INVERSION. The rank names
+// resolve against the real enum in src/util/lock_rank.h (kMapStripe=500,
+// kTaskGroup=200), so acquiring the group lock under a stripe lock is a
+// strict-increase violation.
+//
+// Expected: exactly one lock-order violation (inversion 500 -> 200).
+
+enum class LockRank { kUnranked, kTaskGroup, kMapStripe };
+
+struct Mutex {
+  explicit Mutex(LockRank rank);
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+class ProbePath {
+ public:
+  void Flush() {
+    MutexLock stripe(stripe_mu_);
+    MutexLock group(group_mu_);  // kTaskGroup(200) under kMapStripe(500)
+  }
+
+ private:
+  Mutex stripe_mu_{LockRank::kMapStripe};
+  Mutex group_mu_{LockRank::kTaskGroup};
+};

@@ -1,0 +1,32 @@
+// astlint fixture: planted SAME-RANK nesting on a rank with no sanctioned
+// protocol. kMapStripe (StripedMap) holds exactly one stripe at a time; two
+// at once from different threads in different orders is a latent ABBA
+// deadlock, so the rank table does not carry the same-rank marker for it.
+//
+// Expected: exactly one lock-order violation (same-rank without protocol).
+
+enum class LockRank { kUnranked, kMapStripe };
+
+struct Mutex {
+  explicit Mutex(LockRank rank);
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+  ~MutexLock();
+};
+
+class DoubleStripe {
+ public:
+  void MoveEntry() {
+    MutexLock from(from_stripe_);
+    MutexLock to(to_stripe_);  // second kMapStripe while one is held
+  }
+
+ private:
+  Mutex from_stripe_{LockRank::kMapStripe};
+  Mutex to_stripe_{LockRank::kMapStripe};
+};

@@ -1,0 +1,32 @@
+// astlint fixture: planted STATS RECORDING inside a morsel body. Per-morsel
+// shard lookups serialize workers on the registry; the sanctioned pattern
+// accumulates locally and flushes once per worker.
+//
+// Expected: exactly one stats-in-morsel-body violation.
+
+struct Morsel {
+  unsigned long index;
+  unsigned long begin;
+  unsigned long end;
+  int worker;
+};
+
+struct WorkerStats {
+  unsigned long rows = 0;
+};
+
+struct StatsRegistry {
+  WorkerStats& WorkerShard(int worker);
+};
+
+template <typename Fn>
+void ParallelFor(unsigned long n, Fn fn) {
+  Morsel morsel{0, 0, n, 0};
+  fn(morsel);
+}
+
+void RunQuery(StatsRegistry& registry) {
+  ParallelFor(1024, [&registry](const Morsel& m) {
+    registry.WorkerShard(m.worker).rows += m.end - m.begin;  // per-morsel
+  });
+}

@@ -420,19 +420,43 @@ RULES = (
 )
 
 
+def waiver_sites(text):
+    """Yields (lineno, rule) for each waiver comment at its own line (the
+    coverage map from collect_waivers also spans the next line)."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in WAIVER_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
 def lint_text(relpath, text, dirs_of_file):
     """Runs every applicable rule over one file's text. Returns a list of
-    (relpath, lineno, rule, message), waivers already applied."""
+    (relpath, lineno, rule, message), waivers already applied. A waiver
+    whose rule fires on neither of its covered lines has outlived the code
+    it excused and is itself reported (rule `stale-waiver`)."""
     stripped = strip_comments_and_strings(text)
     waived = collect_waivers(text)
-    violations = []
+    raw = []
     for dirs, rule_fn in RULES:
         if relpath.parts[0] not in dirs or relpath.parts[0] not in dirs_of_file:
             continue
-        for lineno, rule, message in rule_fn(relpath, stripped):
-            if rule in waived.get(lineno, ()):
-                continue
-            violations.append((relpath, lineno, rule, message))
+        raw.extend(rule_fn(relpath, stripped))
+    raw_sites = {(lineno, rule) for lineno, rule, _ in raw}
+    for lineno, rule in waiver_sites(text):
+        if rule == "stale-waiver":
+            continue  # Meta-waiver; used by definition of what it covers.
+        if (lineno, rule) not in raw_sites and \
+                (lineno + 1, rule) not in raw_sites:
+            raw.append((
+                lineno,
+                "stale-waiver",
+                f"waiver for '{rule}' covers no line where that rule still "
+                "fires — the excused code is gone, remove the waiver",
+            ))
+    violations = []
+    for lineno, rule, message in raw:
+        if rule in waived.get(lineno, ()):
+            continue
+        violations.append((relpath, lineno, rule, message))
     return violations
 
 
@@ -591,6 +615,15 @@ FIXTURES = [
         "",
         "template <typename Value>\nclass Widget { Value v_; };\n",
     ),
+    (
+        "stale-waiver",
+        "src/core/widget.cc",
+        # The waived rule (raw-thread) fires nowhere near the waiver: the
+        # code it excused is gone, so the waiver itself is the violation.
+        "// lint:allow(raw-thread): excuses code that was deleted\n"
+        "int width = 0;\n",
+        "// plain comment, no waiver\nint width = 0;\n",
+    ),
 ]
 
 
@@ -625,12 +658,39 @@ def self_test():
     return 0
 
 
+def list_waivers():
+    """Prints every lint:allow waiver in the repo with its location and the
+    comment text, marking stale ones (rule no longer fires there)."""
+    total, stale_count = 0, 0
+    for relpath in source_files(ALL_DIRS):
+        text = (REPO / relpath).read_text(encoding="utf-8")
+        stale_lines = {
+            lineno for _, lineno, rule, _ in lint_text(relpath, text, ALL_DIRS)
+            if rule == "stale-waiver"}
+        lines = text.splitlines()
+        for lineno, rule in waiver_sites(text):
+            comment = lines[lineno - 1].strip()
+            marker = " STALE" if lineno in stale_lines else ""
+            print(f"{relpath}:{lineno}: [{rule}]{marker} {comment}")
+            total += 1
+            stale_count += lineno in stale_lines
+    print(f"{total} waiver(s), {stale_count} stale")
+    return 1 if stale_count else 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--self-test", action="store_true",
                         help="run the rule fixtures instead of linting")
+    parser.add_argument("--list-waivers", action="store_true",
+                        help="list every lint:allow waiver, marking stale "
+                             "ones; exits non-zero if any are stale")
     args = parser.parse_args()
-    return self_test() if args.self_test else lint_repo()
+    if args.self_test:
+        return self_test()
+    if args.list_waivers:
+        return list_waivers()
+    return lint_repo()
 
 
 if __name__ == "__main__":

@@ -17,8 +17,12 @@ std::string RecommendAlgorithm(const WorkloadProfile& profile) {
 
   // Right branch: vector output.
   if (profile.category == FunctionCategory::kHolistic) {
-    // Holistic aggregates: sorting wins (Sections 5.2, 5.8, 6).
-    return profile.num_threads > 1 ? "Sort_BI" : "Spreadsort";
+    // Holistic aggregates: sorting wins (Sections 5.2, 5.8, 6). Which sort
+    // depends on key width: Spreadsort's byte-oriented passes pay per key
+    // byte, so past half the word the comparison sort takes over
+    // (arXiv 2411.13245 measures the same crossover for radix kernels).
+    if (profile.num_threads > 1) return "Sort_BI";
+    return profile.key_width_bits > 32 ? "Introsort" : "Spreadsort";
   }
 
   // Distributive / algebraic.
@@ -53,6 +57,11 @@ std::string ExplainRecommendation(const WorkloadProfile& profile) {
     switch (profile.category) {
       case FunctionCategory::kHolistic:
         explanation += " -> holistic aggregate -> sort-based";
+        if (profile.num_threads <= 1) {
+          explanation += profile.key_width_bits > 32
+                             ? " (wide key: comparison sort)"
+                             : " (narrow key: byte-radix sort)";
+        }
         break;
       case FunctionCategory::kAlgebraic:
       case FunctionCategory::kDistributive:

@@ -31,6 +31,13 @@ struct WorkloadProfile {
   bool prebuilt_index = false;
   /// Threads available for this query.
   int num_threads = 1;
+  /// Effective width of the group key in bits — the KeyCodec's packed width
+  /// for composite keys (core/table_exec.h sets this from the codec), or
+  /// the key domain's bit width for raw columns. The hash-vs-sort empirical
+  /// study (arXiv 2411.13245) shows byte-oriented radix sorts lose their
+  /// edge as keys widen: each extra byte is another full distribution pass.
+  /// Defaults to 32, the paper's synthetic key domain (cardinality <= 10^7).
+  int key_width_bits = 32;
 };
 
 /// Returns the recommended algorithm label (as used by MakeVectorAggregator

@@ -29,6 +29,9 @@
 //                                  ScalarOperator        families
 //   adaptive-switchable strategy MigratableOperator      the five vector
 //                                                        families + striped
+//   columnar input table         ColumnarTable           Table (data/table.h)
+//   composite key codec          TableKeyCodec           PackedKeyCodec,
+//                                                        DictKeyCodec
 //
 // Placement note: AllocatorPolicy and MemoryTracer are defined in their own
 // layers (mem/, util/) because the container headers below core/ constrain
@@ -48,13 +51,17 @@
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <type_traits>
 #include <utility>
 
 #include "core/operator.h"
+#include "data/key_codec.h"
+#include "data/table.h"
 #include "exec/morsel.h"
 #include "mem/allocator.h"
 #include "sort/sort_common.h"
+#include "util/encoded_key.h"
 #include "util/tracer.h"
 
 namespace memagg {
@@ -65,7 +72,7 @@ namespace concept_internal {
 /// they are never evaluated.
 template <typename V>
 struct GroupVisitor {
-  void operator()(uint64_t key, const V& value) const;
+  void operator()(EncodedKey key, const V& value) const;
 };
 
 template <typename V>
@@ -82,7 +89,7 @@ struct MutatingGroupVisitor {
 /// introspection, and whole-structure iteration.
 template <typename M, typename V>
 concept GroupStoreBase =
-    requires(M map, const M& cmap, uint64_t key) {
+    requires(M map, const M& cmap, EncodedKey key) {
       { map.GetOrInsert(key) } -> std::same_as<V&>;
       { cmap.Find(key) } -> std::same_as<const V*>;
       { map.Find(key) } -> std::same_as<V*>;
@@ -112,7 +119,7 @@ concept OrderedGroupStore =
 /// Thread-safe mutation via a callback run under the structure's own locks
 /// (libcuckoo-style upsert; paper Section 5.8).
 template <typename M, typename V>
-concept UpsertGroupMap = requires(M map, uint64_t key) {
+concept UpsertGroupMap = requires(M map, EncodedKey key) {
   map.Upsert(key, concept_internal::MutatingGroupVisitor<V>{});
 };
 
@@ -120,7 +127,7 @@ concept UpsertGroupMap = requires(M map, uint64_t key) {
 /// structure is shared, the memory behind it is thread-local.
 template <typename M, typename V>
 concept SharedAllocGroupMap =
-    requires(M map, uint64_t key, typename M::Alloc& alloc) {
+    requires(M map, EncodedKey key, typename M::Alloc& alloc) {
       { map.GetOrInsert(key, alloc) } -> std::same_as<V&>;
     };
 
@@ -201,6 +208,36 @@ concept Sorter =
 template <typename S>
 concept ParallelSorter = Sorter<S> && requires(S sorter, int num_threads) {
   sorter.num_threads = num_threads;
+};
+
+// --- Columnar tables and key codecs -----------------------------------------
+
+/// Columnar input-table role (data/table.h): equal-length typed columns
+/// addressable by name or index, with footprint introspection. The typed
+/// execution front-end (core/table_exec.h) is written against this surface.
+template <typename T>
+concept ColumnarTable =
+    requires(const T& table, const std::string& name, size_t index) {
+      { table.num_rows() } -> std::convertible_to<size_t>;
+      { table.num_columns() } -> std::convertible_to<size_t>;
+      { table.HasColumn(name) } -> std::convertible_to<bool>;
+      { table.ColumnIndex(name) } -> std::convertible_to<size_t>;
+      { table.ColumnAt(index) } -> std::same_as<const Column&>;
+      { table.MemoryBytes() } -> std::convertible_to<size_t>;
+    };
+
+/// Composite-key codec role (data/key_codec.h): maps multi-column group
+/// keys to the engine's fixed-width EncodedKey and back. Operators never
+/// see this interface — they keep running over raw EncodedKey columns; the
+/// execution front-end uses it to build the key column, decide whether
+/// encoded order is natural order (order_preserving), feed the advisor's
+/// cost model (width_bits), and decode result keys into column values.
+template <typename C>
+concept TableKeyCodec = requires(const C& codec, EncodedKey key) {
+  { codec.num_fields() } -> std::convertible_to<size_t>;
+  { codec.width_bits() } -> std::convertible_to<int>;
+  { codec.order_preserving() } -> std::convertible_to<bool>;
+  { codec.Decode(key) } -> std::same_as<DecodedKey>;
 };
 
 // --- Operators --------------------------------------------------------------

@@ -18,6 +18,7 @@
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -61,7 +62,7 @@ class HashVectorAggregator final : public VectorAggregator,
   VectorResult Iterate() override {
     VectorResult result;
     result.reserve(map_.size());
-    map_.ForEach([&result](uint64_t key, const State& state) {
+    map_.ForEach([&result](EncodedKey key, const State& state) {
       // Holistic finalizers reorder their buffered values in place; the
       // entries are not actually const.
       result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
@@ -87,7 +88,7 @@ class HashVectorAggregator final : public VectorAggregator,
   Partial ExtractPartialState() override {
     Partial out;
     out.partials.reserve(map_.size());
-    map_.ForEach([&out](uint64_t key, const State& state) {
+    map_.ForEach([&out](EncodedKey key, const State& state) {
       out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
     });
     out.rows = rows_consumed_;

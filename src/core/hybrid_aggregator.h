@@ -36,6 +36,7 @@
 #include "sort/block_indirect_sort.h"
 #include "sort/sort_common.h"
 #include "sort/spreadsort.h"
+#include "util/encoded_key.h"
 
 namespace memagg {
 
@@ -83,7 +84,7 @@ class HybridVectorAggregator final : public VectorAggregator {
       // Pure hashing: the low-cardinality fast path.
       VectorResult result;
       result.reserve(map_.size());
-      map_.ForEach([&result](uint64_t key, const State& state) {
+      map_.ForEach([&result](EncodedKey key, const State& state) {
         result.push_back(
             {key, Aggregate::Finalize(const_cast<State&>(state))});
       });
@@ -134,7 +135,7 @@ class HybridVectorAggregator final : public VectorAggregator {
 
  private:
   struct Partial {
-    uint64_t key;
+    EncodedKey key;
     State state;
   };
 
@@ -146,14 +147,14 @@ class HybridVectorAggregator final : public VectorAggregator {
     if constexpr (kHolistic) {
       // Holistic states are raw value buffers: spill them back as records so
       // the final sort sees exactly the original input.
-      map_.ForEach([this](uint64_t key, const State& state) {
+      map_.ForEach([this](EncodedKey key, const State& state) {
         for (uint64_t value : state) {
           records_.push_back({key, value});
         }
       });
     } else {
       // Distributive/algebraic states are flushed as mergeable partials.
-      map_.ForEach([this](uint64_t key, const State& state) {
+      map_.ForEach([this](EncodedKey key, const State& state) {
         partials_.push_back({key, state});
       });
     }
@@ -180,7 +181,7 @@ class HybridVectorAggregator final : public VectorAggregator {
       size_t run_start = 0;
       std::vector<uint64_t> run_values;
       while (run_start < n) {
-        const uint64_t key = records_[run_start].first;
+        const EncodedKey key = records_[run_start].first;
         size_t run_end = run_start + 1;
         while (run_end < n && records_[run_end].first == key) ++run_end;
         run_values.resize(run_end - run_start);
@@ -212,7 +213,7 @@ class HybridVectorAggregator final : public VectorAggregator {
         }
       };
       while (run_start < n) {
-        const uint64_t key = records_[run_start].first;
+        const EncodedKey key = records_[run_start].first;
         size_t run_end = run_start + 1;
         while (run_end < n && records_[run_end].first == key) ++run_end;
         emit_partials_below(key);

@@ -31,6 +31,7 @@
 #include "exec/executor.h"
 #include "hash/linear_probing_map.h"
 #include "obs/query_stats.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -91,7 +92,7 @@ class LocalPartitionAggregator final : public VectorAggregator,
     LinearProbingMap<State>& merged = *locals_[0];
     VectorResult result;
     result.reserve(merged.size());
-    merged.ForEach([&result](uint64_t key, const State& state) {
+    merged.ForEach([&result](EncodedKey key, const State& state) {
       result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
     });
     return result;
@@ -121,7 +122,7 @@ class LocalPartitionAggregator final : public VectorAggregator,
     // absorber's Merge recombines them, so no pre-merge pass is needed.
     out.partials.reserve(NumGroups());
     for (auto& local : locals_) {
-      local->ForEach([&out](uint64_t key, const State& state) {
+      local->ForEach([&out](EncodedKey key, const State& state) {
         out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
       });
       *local = LinearProbingMap<State>(2);
@@ -188,7 +189,7 @@ class LocalPartitionAggregator final : public VectorAggregator,
   /// wholesale — one deallocation per partition, not one per entry.
   static void MergeInto(LinearProbingMap<State>& into,
                         LinearProbingMap<State>& from) {
-    from.ForEach([&into](uint64_t key, const State& state) {
+    from.ForEach([&into](EncodedKey key, const State& state) {
       Aggregate::Merge(into.GetOrInsert(key), const_cast<State&>(state));
     });
     from = LinearProbingMap<State>(2);

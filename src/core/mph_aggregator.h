@@ -16,6 +16,7 @@
 #include "core/result.h"
 #include "hash/ordered_mph.h"
 #include "obs/query_stats.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -66,7 +67,7 @@ class MphVectorAggregator final : public VectorAggregator {
   VectorResult IterateRange(uint64_t lo, uint64_t hi) override {
     VectorResult result;
     for (size_t slot = 0; slot < states_.size(); ++slot) {
-      const uint64_t key = mph_.KeyAt(slot);
+      const EncodedKey key = mph_.KeyAt(slot);
       if (key < lo) continue;
       if (key > hi) break;  // Slots are key-ordered.
       result.push_back({key, Aggregate::Finalize(states_[slot])});

@@ -37,6 +37,7 @@
 #include "hash/striped_map.h"
 #include "mem/worker_arenas.h"
 #include "obs/query_stats.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/spinlock.h"
 #include "util/thread_annotations.h"
@@ -243,7 +244,7 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
   VectorResult Iterate() override {
     VectorResult result;
     result.reserve(map_.size());
-    map_.ForEach([&result](uint64_t key, const State& state) {
+    map_.ForEach([&result](EncodedKey key, const State& state) {
       result.push_back(
           {key, ConcurrentAggregate::Finalize(const_cast<State&>(state))});
     });
@@ -301,7 +302,7 @@ class CuckooParallelAggregator final : public VectorAggregator {
   VectorResult Iterate() override {
     VectorResult result;
     result.reserve(map_.size());
-    map_.ForEach([&result](uint64_t key, const State& state) {
+    map_.ForEach([&result](EncodedKey key, const State& state) {
       result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
     });
     return result;
@@ -352,7 +353,7 @@ class StripedParallelAggregator final : public VectorAggregator,
   VectorResult Iterate() override {
     VectorResult result;
     result.reserve(map_.size());
-    map_.ForEach([&result](uint64_t key, const State& state) {
+    map_.ForEach([&result](EncodedKey key, const State& state) {
       result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
     });
     return result;
@@ -383,7 +384,7 @@ class StripedParallelAggregator final : public VectorAggregator,
   Partial ExtractPartialState() override {
     Partial out;
     out.partials.reserve(map_.size());
-    map_.ForEach([&out](uint64_t key, const State& state) {
+    map_.ForEach([&out](EncodedKey key, const State& state) {
       out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
     });
     for (int w = 0; w < rows_consumed_.size(); ++w) {

@@ -33,6 +33,7 @@
 #include "hash/linear_probing_map.h"
 #include "obs/query_stats.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -146,7 +147,7 @@ class RadixPartitionAggregator final : public VectorAggregator,
     VectorResult result;
     result.reserve(NumGroups());
     for (const auto& partition : partitions_) {
-      partition->ForEach([&result](uint64_t key, const State& state) {
+      partition->ForEach([&result](EncodedKey key, const State& state) {
         result.push_back(
             {key, Aggregate::Finalize(const_cast<State&>(state))});
       });
@@ -208,7 +209,7 @@ class RadixPartitionAggregator final : public VectorAggregator,
       }
     }
     for (auto& table : incr_) {
-      table->ForEach([&out](uint64_t key, const State& state) {
+      table->ForEach([&out](EncodedKey key, const State& state) {
         out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
       });
     }
@@ -246,7 +247,7 @@ class RadixPartitionAggregator final : public VectorAggregator,
             for (int w = 0; w < incr_workers_; ++w) {
               LinearProbingMap<State>& from =
                   *incr_[static_cast<size_t>(w) * num_partitions_ + p];
-              from.ForEach([&into](uint64_t key, const State& state) {
+              from.ForEach([&into](EncodedKey key, const State& state) {
                 if constexpr (MergeableAggregatePolicy<Aggregate>) {
                   Aggregate::Merge(into.GetOrInsert(key),
                                    const_cast<State&>(state));
@@ -301,7 +302,7 @@ class RadixPartitionAggregator final : public VectorAggregator,
     return (hash >> 40) & (num_partitions_ - 1);
   }
 
-  size_t PartitionOf(uint64_t key) const {
+  size_t PartitionOf(EncodedKey key) const {
     return PartitionOfHash(HashKey(key));
   }
 

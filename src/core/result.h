@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/encoded_key.h"
+
 namespace memagg {
 
 /// One output row of a vector aggregation: a group key and its aggregate.
 struct GroupResult {
-  uint64_t key = 0;
+  EncodedKey key = 0;
   double value = 0.0;
 
   friend bool operator==(const GroupResult& a, const GroupResult& b) {

@@ -20,6 +20,7 @@
 #include "core/concepts.h"
 #include "core/operator.h"
 #include "sort/sort_common.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -105,7 +106,7 @@ class TreeScalarMedianAggregator final : public ScalarAggregator {
     uint64_t hi_key = 0;
     bool lo_found = false;
     bool hi_found = false;
-    tree_.ForEach([&](uint64_t key, const uint64_t& count) {
+    tree_.ForEach([&](EncodedKey key, const uint64_t& count) {
       if (hi_found) return;  // Walk completes; remaining groups are ignored.
       const uint64_t next_seen = seen + count;
       if (!lo_found && rank_lo < next_seen) {

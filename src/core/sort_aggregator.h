@@ -26,6 +26,7 @@
 #include "exec/executor.h"
 #include "obs/query_stats.h"
 #include "sort/sort_common.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
@@ -196,7 +197,7 @@ class SortVectorAggregator final : public VectorAggregator,
       while (pi < absorbed_.size() &&
              (absorbed_[pi].first < bound ||
               (inclusive && absorbed_[pi].first == bound))) {
-        const uint64_t key = absorbed_[pi].first;
+        const EncodedKey key = absorbed_[pi].first;
         typename Aggregate::State state = std::move(absorbed_[pi].second);
         ++pi;
         MergeSameKeyPartials(key, &state, &pi);
@@ -206,7 +207,7 @@ class SortVectorAggregator final : public VectorAggregator,
     const size_t n = records.size();
     size_t run_start = 0;
     while (run_start < n) {
-      const uint64_t key = records[run_start].first;
+      const EncodedKey key = records[run_start].first;
       size_t run_end = run_start + 1;
       while (run_end < n && records[run_end].first == key) ++run_end;
       emit_partials_below(key, /*inclusive=*/false);
@@ -260,7 +261,7 @@ class SortVectorAggregator final : public VectorAggregator,
       const size_t n = records_.size();
       size_t run_start = 0;
       while (run_start < n) {
-        const uint64_t key = records_[run_start].first;
+        const EncodedKey key = records_[run_start].first;
         size_t run_end = run_start + 1;
         Tracer::OnAccess(&records_[run_start], sizeof(records_[run_start]));
         while (run_end < n && records_[run_end].first == key) {
@@ -276,7 +277,7 @@ class SortVectorAggregator final : public VectorAggregator,
       const size_t n = keys_.size();
       size_t run_start = 0;
       while (run_start < n) {
-        const uint64_t key = keys_[run_start];
+        const EncodedKey key = keys_[run_start];
         size_t run_end = run_start + 1;
         Tracer::OnAccess(&keys_[run_start], sizeof(uint64_t));
         while (run_end < n && keys_[run_end] == key) {
@@ -324,7 +325,7 @@ class SortVectorAggregator final : public VectorAggregator,
 
   /// Folds every absorbed partial whose key equals `key` into `state`,
   /// advancing `*pi` past them. Requires absorbed_ sorted by key.
-  void MergeSameKeyPartials(uint64_t key, typename Aggregate::State* state,
+  void MergeSameKeyPartials(EncodedKey key, typename Aggregate::State* state,
                             size_t* pi) {
     while (*pi < absorbed_.size() && absorbed_[*pi].first == key) {
       if constexpr (MergeableAggregatePolicy<Aggregate>) {

@@ -1,6 +1,6 @@
 // Sorter functors bridging the sort substrate to the aggregation operators
 // and benchmarks. Each sorter sorts a range of trivially copyable records by
-// the uint64_t key produced by a KeyOf functor, so the same functor works on
+// the EncodedKey key produced by a KeyOf functor, so the same functor works on
 // plain key arrays (IdentityKey) and on (key, value) records (PairFirstKey).
 
 #ifndef MEMAGG_CORE_SORTERS_H_
@@ -16,6 +16,7 @@
 #include "sort/sort_common.h"
 #include "sort/spreadsort.h"
 #include "sort/task_quicksort.h"
+#include "util/encoded_key.h"
 
 namespace memagg {
 

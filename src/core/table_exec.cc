@@ -1,0 +1,229 @@
+#include "core/table_exec.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+
+#include "core/advisor.h"
+#include "core/engine.h"
+
+namespace memagg {
+namespace {
+
+void ValidateQuery(const Table& table, const TableQuery& query) {
+  MEMAGG_CHECK(!query.group_by.empty() &&
+               "a TableQuery needs at least one group-by column");
+  MEMAGG_CHECK(!query.aggregates.empty() &&
+               "a TableQuery needs at least one aggregate");
+  for (const AggregateSpec& spec : query.aggregates) {
+    if (!NeedsValueColumn(spec.function)) continue;
+    MEMAGG_CHECK(table.ColumnNamed(spec.column).type() == ColumnType::kU64 &&
+                 "aggregate measure columns must be u64 fixed-point");
+  }
+  if (query.has_filter) {
+    MEMAGG_CHECK(table.ColumnNamed(query.filter_column).type() ==
+                     ColumnType::kU64 &&
+                 "filter columns must be u64");
+  }
+}
+
+std::vector<uint64_t> FilterRows(const Table& table, const TableQuery& query) {
+  const std::vector<uint64_t>& values =
+      table.ColumnNamed(query.filter_column).u64();
+  std::vector<uint64_t> rows;
+  rows.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] <= query.filter_max) rows.push_back(i);
+  }
+  return rows;
+}
+
+/// Measure column for one aggregate, gathered through the selected rows
+/// (or the column itself when the whole table runs).
+std::vector<uint64_t> GatherValues(const Table& table,
+                                   const std::string& column,
+                                   const std::vector<uint64_t>* rows) {
+  const std::vector<uint64_t>& source = table.ColumnNamed(column).u64();
+  if (rows == nullptr) return source;
+  std::vector<uint64_t> gathered(rows->size());
+  for (size_t i = 0; i < rows->size(); ++i) {
+    gathered[i] = source[(*rows)[i]];
+  }
+  return gathered;
+}
+
+std::string ResolveLabel(const std::string& label, const TableQuery& query,
+                         int key_width_bits, const ExecutionContext& exec) {
+  if (label != "auto") return label;
+  WorkloadProfile profile;
+  profile.output = OutputFormat::kVector;
+  profile.category = QueryCategory(query);
+  profile.has_range_condition = query.has_key_range;
+  profile.num_threads = exec.num_threads;
+  profile.key_width_bits = key_width_bits;
+  return RecommendAlgorithm(profile);
+}
+
+std::string DefaultName(const AggregateSpec& spec) {
+  if (!spec.output_name.empty()) return spec.output_name;
+  return AggregateFunctionName(spec.function) + "(" + spec.column + ")";
+}
+
+/// Runs every aggregate over the shared encoded key column, aligns the
+/// per-aggregate results by key, and emits canonical group order.
+template <TableKeyCodec Codec>
+TableQueryResult RunAggregates(const Table& table, const TableQuery& query,
+                               const Codec& codec,
+                               const std::vector<EncodedKey>& keys,
+                               const std::vector<uint64_t>* rows,
+                               const std::string& label,
+                               const ExecutionContext& exec) {
+  TableQueryResult result;
+  result.label = label;
+  result.key_width_bits = codec.width_bits();
+  result.order_preserving = codec.order_preserving();
+  result.rows_scanned = keys.size();
+
+  // Pre-size to the record count, the paper's standing assumption; growable
+  // structures shrink this via their own cardinality estimate.
+  const size_t expected = keys.size();
+
+  std::vector<EncodedKey> group_keys;
+  std::unordered_map<EncodedKey, size_t> row_of;
+  for (size_t a = 0; a < query.aggregates.size(); ++a) {
+    const AggregateSpec& spec = query.aggregates[a];
+    std::vector<uint64_t> values;
+    const uint64_t* values_ptr = nullptr;
+    if (NeedsValueColumn(spec.function)) {
+      values = GatherValues(table, spec.column, rows);
+      values_ptr = values.data();
+    }
+    VectorQueryExecution run =
+        ExecuteVectorQuery(label, spec.function, keys.data(), values_ptr,
+                           keys.size(), expected, exec);
+    result.stats.Merge(run.stats);
+    result.aggregate_names.push_back(DefaultName(spec));
+    if (a == 0) {
+      group_keys.reserve(run.result.size());
+      row_of.reserve(run.result.size() * 2);
+      std::vector<double> column(run.result.size());
+      for (size_t g = 0; g < run.result.size(); ++g) {
+        row_of.emplace(run.result[g].key, g);
+        group_keys.push_back(run.result[g].key);
+        column[g] = run.result[g].value;
+      }
+      MEMAGG_CHECK(row_of.size() == run.result.size() &&
+                   "operator emitted a duplicate group key");
+      result.aggregate_columns.push_back(std::move(column));
+      continue;
+    }
+    // Later aggregates see the same key column, so their group sets must
+    // match the first run's exactly; any drift is an operator bug.
+    MEMAGG_CHECK(run.result.size() == group_keys.size() &&
+                 "aggregate runs disagree on the group set");
+    std::vector<double> column(group_keys.size());
+    for (const GroupResult& group : run.result) {
+      const auto it = row_of.find(group.key);
+      MEMAGG_CHECK(it != row_of.end() &&
+                   "aggregate runs disagree on the group set");
+      column[it->second] = group.value;
+    }
+    result.aggregate_columns.push_back(std::move(column));
+  }
+
+  // Canonical output order. An order-preserving codec makes encoded order
+  // the natural multi-column order; otherwise (DictKeyCodec, unsorted
+  // dictionaries) sort by the decoded tuples — distinct keys decode to
+  // distinct tuples, so the order is total either way.
+  std::vector<DecodedKey> decoded = DecodeKeyColumn(codec, group_keys);
+  std::vector<size_t> order(group_keys.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (codec.order_preserving()) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return group_keys[a] < group_keys[b];
+    });
+  } else {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return std::lexicographical_compare(decoded[a].begin(), decoded[a].end(),
+                                          decoded[b].begin(),
+                                          decoded[b].end());
+    });
+  }
+  result.group_keys.reserve(order.size());
+  for (const size_t g : order) {
+    result.group_keys.push_back(std::move(decoded[g]));
+  }
+  for (std::vector<double>& column : result.aggregate_columns) {
+    std::vector<double> sorted_column(order.size());
+    for (size_t g = 0; g < order.size(); ++g) {
+      sorted_column[g] = column[order[g]];
+    }
+    column = std::move(sorted_column);
+  }
+  return result;
+}
+
+}  // namespace
+
+FunctionCategory QueryCategory(const TableQuery& query) {
+  FunctionCategory category = FunctionCategory::kDistributive;
+  for (const AggregateSpec& spec : query.aggregates) {
+    const FunctionCategory c = CategoryOf(spec.function);
+    if (c == FunctionCategory::kHolistic) return FunctionCategory::kHolistic;
+    if (c == FunctionCategory::kAlgebraic) category = c;
+  }
+  return category;
+}
+
+TableQueryResult ExecuteTableQuery(const Table& table, const TableQuery& query,
+                                   const std::string& label,
+                                   ExecutionContext exec) {
+  ValidateQuery(table, query);
+
+  std::vector<uint64_t> rows_storage;
+  const std::vector<uint64_t>* rows = nullptr;
+  if (query.has_filter) {
+    rows_storage = FilterRows(table, query);
+    rows = &rows_storage;
+  }
+
+  if (auto packed = PackedKeyCodec::TryBuild(table, query.group_by)) {
+    std::vector<EncodedKey> keys =
+        rows == nullptr ? packed->EncodeAll() : packed->EncodeRows(*rows);
+    if (query.has_key_range) {
+      const auto range =
+          packed->LeadingFieldRange(query.key_range_lo, query.key_range_hi);
+      std::vector<uint64_t> kept_rows;
+      std::vector<EncodedKey> kept_keys;
+      if (range.has_value()) {
+        kept_rows.reserve(keys.size());
+        kept_keys.reserve(keys.size());
+        for (size_t i = 0; i < keys.size(); ++i) {
+          if (keys[i] >= range->first && keys[i] <= range->second) {
+            kept_rows.push_back(rows == nullptr ? i : (*rows)[i]);
+            kept_keys.push_back(keys[i]);
+          }
+        }
+      }
+      rows_storage = std::move(kept_rows);
+      rows = &rows_storage;
+      keys = std::move(kept_keys);
+    }
+    const std::string resolved =
+        ResolveLabel(label, query, packed->width_bits(), exec);
+    return RunAggregates(table, query, *packed, keys, rows, resolved, exec);
+  }
+
+  // Wide composite: dictionary fallback. Its code space is dense and
+  // unordered, so a key-range condition cannot map to an encoded range.
+  MEMAGG_CHECK(!query.has_key_range &&
+               "range conditions need an order-preserving key codec");
+  const DictKeyCodec codec = DictKeyCodec::Build(table, query.group_by, rows);
+  const std::string resolved =
+      ResolveLabel(label, query, codec.width_bits(), exec);
+  return RunAggregates(table, query, codec, codec.encoded(), rows, resolved,
+                       exec);
+}
+
+}  // namespace memagg

@@ -18,6 +18,7 @@
 #include "core/operator.h"
 #include "core/result.h"
 #include "obs/query_stats.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -55,7 +56,7 @@ class TreeVectorAggregator final : public VectorAggregator,
   VectorResult Iterate() override {
     VectorResult result;
     result.reserve(tree_.size());
-    tree_.ForEach([&result](uint64_t key, const State& state) {
+    tree_.ForEach([&result](EncodedKey key, const State& state) {
       result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
     });
     return result;
@@ -65,7 +66,7 @@ class TreeVectorAggregator final : public VectorAggregator,
 
   VectorResult IterateRange(uint64_t lo, uint64_t hi) override {
     VectorResult result;
-    tree_.ForEachInRange(lo, hi, [&result](uint64_t key, const State& state) {
+    tree_.ForEachInRange(lo, hi, [&result](EncodedKey key, const State& state) {
       result.push_back({key, Aggregate::Finalize(const_cast<State&>(state))});
     });
     return result;
@@ -92,7 +93,7 @@ class TreeVectorAggregator final : public VectorAggregator,
     // afterwards, per the interface contract.
     Partial out;
     out.partials.reserve(tree_.size());
-    tree_.ForEach([&out](uint64_t key, const State& state) {
+    tree_.ForEach([&out](EncodedKey key, const State& state) {
       out.partials.emplace_back(key, std::move(const_cast<State&>(state)));
     });
     out.rows = rows_consumed_;

@@ -22,7 +22,9 @@ std::vector<uint64_t> GenerateRseq(uint64_t n, uint64_t c) {
 }
 
 std::vector<uint64_t> GenerateHhit(uint64_t n, uint64_t c, uint64_t seed) {
-  MEMAGG_CHECK(c <= n / 2 + 1);
+  MEMAGG_CHECK(c <= n / 2 + 1 &&
+               "Hhit needs cardinality <= n/2 + 1 so the heavy hitter can "
+               "cover half the records");
   Rng rng(seed);
   const uint64_t heavy_key = rng.NextBounded(c);
   std::vector<uint64_t> keys;
@@ -55,7 +57,8 @@ std::vector<uint64_t> GenerateZipf(uint64_t n, uint64_t c, uint64_t seed) {
 
 std::vector<uint64_t> GenerateMovingCluster(uint64_t n, uint64_t c,
                                             uint64_t seed) {
-  MEMAGG_CHECK(c >= kMovingClusterWindow);
+  MEMAGG_CHECK(c >= kMovingClusterWindow &&
+               "MovC needs cardinality >= 64 (the sliding window size)");
   Rng rng(seed);
   std::vector<uint64_t> keys(n);
   const uint64_t span = c - kMovingClusterWindow;
@@ -117,9 +120,12 @@ bool IsValidSpec(const DatasetSpec& spec) {
 }
 
 std::vector<uint64_t> GenerateKeys(const DatasetSpec& spec) {
-  MEMAGG_CHECK(IsValidSpec(spec));
-  MEMAGG_CHECK(spec.cardinality >= 1);
-  MEMAGG_CHECK(spec.cardinality <= spec.num_records);
+  // Each precondition aborts with its own message (the per-distribution
+  // ones fire inside the generators above); IsValidSpec stays the quiet
+  // queryable form for sweep drivers that skip invalid combinations.
+  MEMAGG_CHECK(spec.cardinality >= 1 && "cardinality must be at least 1");
+  MEMAGG_CHECK(spec.cardinality <= spec.num_records &&
+               "cardinality cannot exceed the record count");
   std::vector<uint64_t> keys;
   switch (spec.distribution) {
     case Distribution::kRseq:
@@ -146,7 +152,7 @@ std::vector<uint64_t> GenerateKeys(const DatasetSpec& spec) {
 
 std::vector<uint64_t> GenerateValues(uint64_t num_records, uint64_t value_range,
                                      uint64_t seed) {
-  MEMAGG_CHECK(value_range >= 1);
+  MEMAGG_CHECK(value_range >= 1 && "value_range must be at least 1");
   Rng rng(seed);
   std::vector<uint64_t> values(num_records);
   for (auto& v : values) v = rng.NextBounded(value_range);

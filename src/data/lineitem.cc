@@ -1,0 +1,100 @@
+#include "data/lineitem.h"
+
+#include <vector>
+
+#include "data/string_dict.h"
+#include "util/macros.h"
+#include "util/rng.h"
+
+namespace memagg {
+namespace {
+
+/// Exactness bound: with <= 16M rows, the largest Q1 sum (disc_price,
+/// capped at 50 * 100'000 cents * 110 per row) stays below 2^53 even if
+/// every row lands in one group, so u64 aggregate states convert to double
+/// losslessly on the result surface.
+constexpr uint64_t kMaxRows = 16ULL << 20;
+
+/// Unit price range in cents (~$9.00 .. $1000.00), dbgen-ish.
+constexpr uint64_t kMinUnitPriceCents = 900;
+constexpr uint64_t kMaxUnitPriceCents = 100000;
+
+/// The open/closed l_linestatus split sits two "years" before the end of
+/// the ship-date span, like dbgen's currentdate.
+constexpr uint64_t kLinestatusSplitDay = kLineitemShipdateDays - 730;
+
+}  // namespace
+
+Table GenerateLineitem(uint64_t num_rows, uint64_t seed) {
+  MEMAGG_CHECK(num_rows >= 1 && "lineitem needs at least one row");
+  MEMAGG_CHECK(num_rows <= kMaxRows &&
+               "lineitem exceeds the 16M-row fixed-point exactness bound");
+
+  Rng rng(seed);
+
+  // Pre-populate both dictionaries with their full domains in sorted order
+  // so PackedKeyCodec over (l_returnflag, l_linestatus) is order-preserving
+  // and tree/sort operators emit groups in natural string order.
+  StringDict returnflag_dict;
+  const uint32_t kFlagA = returnflag_dict.Intern("A");
+  const uint32_t kFlagN = returnflag_dict.Intern("N");
+  const uint32_t kFlagR = returnflag_dict.Intern("R");
+  StringDict linestatus_dict;
+  const uint32_t kStatusF = linestatus_dict.Intern("F");
+  const uint32_t kStatusO = linestatus_dict.Intern("O");
+  MEMAGG_CHECK(returnflag_dict.sorted() && linestatus_dict.sorted());
+
+  const size_t n = static_cast<size_t>(num_rows);
+  std::vector<uint32_t> returnflag(n);
+  std::vector<uint32_t> linestatus(n);
+  std::vector<uint64_t> quantity(n);
+  std::vector<uint64_t> extendedprice(n);
+  std::vector<uint64_t> discount(n);
+  std::vector<uint64_t> tax(n);
+  std::vector<uint64_t> shipdate(n);
+  std::vector<uint64_t> disc_price(n);
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t day = rng.NextBounded(kLineitemShipdateDays);
+    shipdate[i] = day;
+    // dbgen ties linestatus/returnflag to dates: recent shipments are still
+    // open ("N"/"O"), older ones are finished and split between accepted
+    // and returned. The correlation is what gives Q1 its classic four-group
+    // result instead of all six flag/status combinations.
+    if (day >= kLinestatusSplitDay) {
+      linestatus[i] = kStatusO;
+      returnflag[i] = kFlagN;
+    } else {
+      linestatus[i] = kStatusF;
+      const uint64_t pick = rng.NextBounded(3);
+      returnflag[i] = pick == 0 ? kFlagA : (pick == 1 ? kFlagR : kFlagN);
+    }
+    const uint64_t qty = rng.NextInRange(1, 50);
+    quantity[i] = qty;
+    const uint64_t unit_price =
+        rng.NextInRange(kMinUnitPriceCents, kMaxUnitPriceCents);
+    extendedprice[i] = qty * unit_price;
+    discount[i] = rng.NextBounded(11);  // 0..10 percent.
+    tax[i] = rng.NextBounded(9);        // 0..8 percent.
+    // Fixed-point derived measure in units of 1e-4 dollars: the integer
+    // product keeps every engine-side SUM exact (see header comment).
+    disc_price[i] = extendedprice[i] * (100 - discount[i]);
+  }
+
+  Table table;
+  table.AddColumn("l_returnflag",
+                  Column::String(std::move(returnflag_dict),
+                                 std::move(returnflag)));
+  table.AddColumn("l_linestatus",
+                  Column::String(std::move(linestatus_dict),
+                                 std::move(linestatus)));
+  table.AddColumn("l_quantity", Column::U64(std::move(quantity)));
+  table.AddColumn("l_extendedprice", Column::U64(std::move(extendedprice)));
+  table.AddColumn("l_discount", Column::U64(std::move(discount)));
+  table.AddColumn("l_tax", Column::U64(std::move(tax)));
+  table.AddColumn("l_shipdate", Column::U64(std::move(shipdate)));
+  table.AddColumn("disc_price", Column::U64(std::move(disc_price)));
+  return table;
+}
+
+}  // namespace memagg

@@ -1,0 +1,58 @@
+// TPC-H Q1-shaped lineitem generator.
+//
+// Produces a columnar Table (data/table.h) with the columns TPC-H Q1
+// touches, shaped like dbgen's lineitem but generated dependency-free and
+// deterministically from (num_rows, seed):
+//
+//   l_returnflag    str   "A" / "N" / "R"; "N" for recent shipments,
+//                         A/R split for older ones (dbgen ties the flag to
+//                         receipt date; we tie it to ship date).
+//   l_linestatus    str   "O" for shipments after the open/closed split,
+//                         "F" before it.
+//   l_quantity      u64   uniform 1..50.
+//   l_extendedprice u64   price in CENTS, quantity-correlated like dbgen
+//                         (unit price uniform ~$9..$1000).
+//   l_discount      u64   percent points, uniform 0..10.
+//   l_tax           u64   percent points, uniform 0..8.
+//   l_shipdate      u64   days since the epoch start, uniform over ~7 years.
+//   disc_price      u64   derived: extendedprice * (100 - discount), i.e.
+//                         extendedprice*(1-discount) in units of 1e-4
+//                         dollars.
+//
+// All money amounts are integer fixed-point so every SUM the engine
+// computes is exact in uint64_t regardless of operator family, partition
+// split, or merge order — which is what makes byte-exact golden-file
+// validation (tools/make_golden.py, bench/bench_tpch_q1.cc) possible
+// without a reference DBMS in the container.
+//
+// Preconditions are loud MEMAGG_CHECKs: num_rows is in [1, 16M]. The row
+// cap is the exactness bound: the widest summed measure (disc_price, at
+// most 50 * 100000 * 110 per row) times 16M rows stays below 2^53, so every
+// Q1 sum is exactly representable as a double on the result surface even if
+// all rows land in one group.
+
+#ifndef MEMAGG_DATA_LINEITEM_H_
+#define MEMAGG_DATA_LINEITEM_H_
+
+#include <cstdint>
+
+#include "data/table.h"
+
+namespace memagg {
+
+/// Day span of the generated l_shipdate column: [0, kLineitemShipdateDays).
+inline constexpr uint64_t kLineitemShipdateDays = 2526;
+
+/// The Q1 predicate cutoff: l_shipdate <= delivery date - 90 days, scaled
+/// to our day span (keeps ~96% of rows, like the real query).
+inline constexpr uint64_t kLineitemQ1ShipdateCutoff =
+    kLineitemShipdateDays - 91;
+
+/// Generates `num_rows` lineitem-shaped rows. Deterministic in
+/// (num_rows, seed). Aborts loudly for num_rows == 0 or num_rows > 16M
+/// (the fixed-point exactness bound documented above).
+Table GenerateLineitem(uint64_t num_rows, uint64_t seed = 0x11e171ULL);
+
+}  // namespace memagg
+
+#endif  // MEMAGG_DATA_LINEITEM_H_

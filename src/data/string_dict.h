@@ -1,0 +1,140 @@
+// Dictionary encoding for string columns.
+//
+// A StringDict interns distinct strings and hands out dense uint32_t codes.
+// String columns in a Table (data/table.h) store only the codes; the
+// KeyCodec layer (data/key_codec.h) packs those codes into the engine's
+// fixed-width EncodedKey, so string group-bys run at integer-key speed
+// through every operator family.
+//
+// Code order vs string order: codes are assigned in first-intern order, so
+// numeric code order only matches lexicographic string order if strings
+// were interned sorted. `sorted()` tracks this; a codec over an unsorted
+// dict must not claim order preservation. Populate the dictionary with its
+// domain in sorted order up front (or call FreezeSorted()) when tree/sort
+// operators should emit groups in natural string order.
+
+#ifndef MEMAGG_DATA_STRING_DICT_H_
+#define MEMAGG_DATA_STRING_DICT_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace memagg {
+
+class StringDict {
+ public:
+  /// Code returned by Find() when the string was never interned.
+  static constexpr uint32_t kNoCode = ~0u;
+
+  /// Returns the code for `text`, interning it if new. Codes are dense:
+  /// the i-th distinct string interned gets code i.
+  uint32_t Intern(std::string_view text) {
+    auto it = code_of_.find(text);
+    if (it != code_of_.end()) return it->second;
+    MEMAGG_CHECK(strings_.size() < kNoCode && "StringDict overflow");
+    const uint32_t code = static_cast<uint32_t>(strings_.size());
+    if (code > 0 && !(strings_.back() < text)) sorted_ = false;
+    strings_.emplace_back(text);
+    code_of_.emplace(strings_.back(), code);
+    return code;
+  }
+
+  /// Code of `text`, or kNoCode if it was never interned.
+  uint32_t Find(std::string_view text) const {
+    auto it = code_of_.find(text);
+    return it == code_of_.end() ? kNoCode : it->second;
+  }
+
+  /// The string behind `code`. Aborts on out-of-range codes.
+  const std::string& String(uint32_t code) const {
+    MEMAGG_CHECK(code < strings_.size() && "StringDict code out of range");
+    return strings_[code];
+  }
+
+  /// Number of distinct strings interned.
+  size_t size() const { return strings_.size(); }
+
+  /// First code whose string is >= `text`; size() when every string is
+  /// smaller. Requires sorted() — code order is string order only then.
+  uint32_t LowerBound(std::string_view text) const {
+    MEMAGG_CHECK(sorted_ && "LowerBound requires a sorted dictionary");
+    const auto it = std::lower_bound(strings_.begin(), strings_.end(), text);
+    return static_cast<uint32_t>(it - strings_.begin());
+  }
+
+  /// First code whose string is > `text`; size() when none is. Requires
+  /// sorted().
+  uint32_t UpperBound(std::string_view text) const {
+    MEMAGG_CHECK(sorted_ && "UpperBound requires a sorted dictionary");
+    const auto it = std::upper_bound(strings_.begin(), strings_.end(), text);
+    return static_cast<uint32_t>(it - strings_.begin());
+  }
+
+  /// True while numeric code order equals lexicographic string order (always
+  /// true for an empty or freshly frozen dict).
+  bool sorted() const { return sorted_; }
+
+  /// Re-assigns codes so code order equals lexicographic string order.
+  /// Returns the remap table: remap[old_code] == new_code. Columns holding
+  /// old codes must be rewritten through it (Column::RemapCodes).
+  std::vector<uint32_t> FreezeSorted() {
+    std::vector<uint32_t> order(strings_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return strings_[a] < strings_[b];
+    });
+    std::vector<uint32_t> remap(strings_.size());
+    std::vector<std::string> sorted_strings(strings_.size());
+    for (uint32_t new_code = 0; new_code < order.size(); ++new_code) {
+      remap[order[new_code]] = new_code;
+      sorted_strings[new_code] = std::move(strings_[order[new_code]]);
+    }
+    strings_ = std::move(sorted_strings);
+    code_of_.clear();
+    for (uint32_t code = 0; code < strings_.size(); ++code) {
+      code_of_.emplace(strings_[code], code);
+    }
+    sorted_ = true;
+    return remap;
+  }
+
+  /// Approximate bytes held by the dictionary.
+  size_t MemoryBytes() const {
+    size_t bytes = strings_.capacity() * sizeof(std::string) +
+                   code_of_.size() * (sizeof(std::string_view) +
+                                      sizeof(uint32_t) + sizeof(void*));
+    for (const std::string& s : strings_) bytes += s.capacity();
+    return bytes;
+  }
+
+ private:
+  // Heterogeneous lookup so Intern/Find take string_view without allocating.
+  struct Hash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct Eq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint32_t, Hash, Eq> code_of_;
+  bool sorted_ = true;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_DATA_STRING_DICT_H_

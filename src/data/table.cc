@@ -1,0 +1,111 @@
+#include "data/table.h"
+
+#include <cstdio>
+
+namespace memagg {
+
+std::string ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kU64:
+      return "u64";
+    case ColumnType::kI64:
+      return "i64";
+    case ColumnType::kF64:
+      return "f64";
+    case ColumnType::kString:
+      return "str";
+  }
+  MEMAGG_CHECK(false);
+  return "";
+}
+
+Column Column::String(StringDict dict, std::vector<uint32_t> codes) {
+  for (uint32_t code : codes) {
+    MEMAGG_CHECK(code < dict.size() &&
+                 "string column code not present in its dictionary");
+  }
+  return Column(ColumnType::kString,
+                StringStorage{std::move(dict), std::move(codes)});
+}
+
+size_t Column::size() const {
+  switch (type_) {
+    case ColumnType::kU64:
+      return u64().size();
+    case ColumnType::kI64:
+      return i64().size();
+    case ColumnType::kF64:
+      return f64().size();
+    case ColumnType::kString:
+      return codes().size();
+  }
+  MEMAGG_CHECK(false);
+  return 0;
+}
+
+void Column::RemapCodes(const std::vector<uint32_t>& remap) {
+  MEMAGG_CHECK(type_ == ColumnType::kString &&
+               "RemapCodes on a non-string column");
+  StringStorage& storage = std::get<StringStorage>(storage_);
+  MEMAGG_CHECK(remap.size() == storage.dict.size());
+  for (uint32_t& code : storage.codes) code = remap[code];
+}
+
+void Column::FreezeDictSorted() {
+  MEMAGG_CHECK(type_ == ColumnType::kString &&
+               "FreezeDictSorted on a non-string column");
+  StringStorage& storage = std::get<StringStorage>(storage_);
+  RemapCodes(storage.dict.FreezeSorted());
+}
+
+size_t Column::MemoryBytes() const {
+  switch (type_) {
+    case ColumnType::kU64:
+      return u64().capacity() * sizeof(uint64_t);
+    case ColumnType::kI64:
+      return i64().capacity() * sizeof(int64_t);
+    case ColumnType::kF64:
+      return f64().capacity() * sizeof(double);
+    case ColumnType::kString:
+      return codes().capacity() * sizeof(uint32_t) + dict().MemoryBytes();
+  }
+  MEMAGG_CHECK(false);
+  return 0;
+}
+
+size_t Table::AddColumn(std::string name, Column column) {
+  MEMAGG_CHECK(!name.empty() && "column name must not be empty");
+  MEMAGG_CHECK(!HasColumn(name) && "duplicate column name");
+  if (!columns_.empty()) {
+    MEMAGG_CHECK(column.size() == num_rows_ &&
+                 "column row count does not match the table");
+  }
+  num_rows_ = column.size();
+  names_.push_back(std::move(name));
+  columns_.push_back(std::move(column));
+  return columns_.size() - 1;
+}
+
+bool Table::HasColumn(const std::string& name) const {
+  for (const std::string& existing : names_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+size_t Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  std::fprintf(stderr, "Unknown column: %s\n", name.c_str());
+  MEMAGG_CHECK(false);
+  return 0;
+}
+
+size_t Table::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Column& column : columns_) bytes += column.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace memagg

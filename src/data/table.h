@@ -1,0 +1,161 @@
+// Columnar input tables.
+//
+// The paper's harness feeds operators two raw uint64_t arrays (keys,
+// values). Real workloads arrive as typed, named columns — TPC-H lineitem
+// is the canonical shape — so this layer adds a minimal columnar Table:
+// named columns of u64 / i64 / double / dictionary-encoded string, all the
+// same length. It deliberately stops short of a storage engine: columns are
+// immutable after AddColumn, there are no nulls, and string data lives in a
+// per-column StringDict (data/string_dict.h).
+//
+// Group-by over a Table never widens the engine's key type: the KeyCodec
+// layer (data/key_codec.h) packs the selected key columns into the
+// fixed-width EncodedKey that every operator family already handles, and
+// value columns are read out as uint64_t measures (kU64 only — aggregate
+// states are integer-exact, which is what makes the golden-file validation
+// byte-stable across operator families and merge orders).
+
+#ifndef MEMAGG_DATA_TABLE_H_
+#define MEMAGG_DATA_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "data/string_dict.h"
+#include "util/macros.h"
+
+namespace memagg {
+
+/// Storage type of one Table column.
+enum class ColumnType { kU64, kI64, kF64, kString };
+
+/// Paper-style short name ("u64", "i64", "f64", "str").
+std::string ColumnTypeName(ColumnType type);
+
+/// One typed, immutable column. Construct through the factory functions;
+/// the typed accessors abort loudly on type mismatch instead of returning
+/// junk.
+class Column {
+ public:
+  static Column U64(std::vector<uint64_t> values) {
+    return Column(ColumnType::kU64, std::move(values));
+  }
+  static Column I64(std::vector<int64_t> values) {
+    return Column(ColumnType::kI64, std::move(values));
+  }
+  static Column F64(std::vector<double> values) {
+    return Column(ColumnType::kF64, std::move(values));
+  }
+  /// Dictionary-encoded string column: `codes[i]` indexes into `dict`.
+  static Column String(StringDict dict, std::vector<uint32_t> codes);
+
+  ColumnType type() const { return type_; }
+  size_t size() const;
+
+  const std::vector<uint64_t>& u64() const {
+    CheckType(ColumnType::kU64);
+    return std::get<std::vector<uint64_t>>(storage_);
+  }
+  const std::vector<int64_t>& i64() const {
+    CheckType(ColumnType::kI64);
+    return std::get<std::vector<int64_t>>(storage_);
+  }
+  const std::vector<double>& f64() const {
+    CheckType(ColumnType::kF64);
+    return std::get<std::vector<double>>(storage_);
+  }
+
+  /// String-column accessors.
+  const StringDict& dict() const { return strings().dict; }
+  const std::vector<uint32_t>& codes() const { return strings().codes; }
+
+  /// Rewrites every code through `remap` (old code -> new code), e.g. after
+  /// StringDict::FreezeSorted(). String columns only.
+  void RemapCodes(const std::vector<uint32_t>& remap);
+
+  /// Sorts the owned dictionary (StringDict::FreezeSorted) and rewrites the
+  /// codes to match, making numeric code order equal lexicographic string
+  /// order — the precondition for order-preserving key packing. String
+  /// columns only.
+  void FreezeDictSorted();
+
+  /// Approximate bytes held by the column's storage.
+  size_t MemoryBytes() const;
+
+ private:
+  struct StringStorage {
+    StringDict dict;
+    std::vector<uint32_t> codes;
+  };
+
+  template <typename Storage>
+  Column(ColumnType type, Storage storage)
+      : type_(type), storage_(std::move(storage)) {}
+
+  void CheckType(ColumnType expected) const {
+    MEMAGG_CHECK(type_ == expected && "Column accessed as the wrong type");
+  }
+
+  const StringStorage& strings() const {
+    CheckType(ColumnType::kString);
+    return std::get<StringStorage>(storage_);
+  }
+
+  ColumnType type_;
+  std::variant<std::vector<uint64_t>, std::vector<int64_t>,
+               std::vector<double>, StringStorage>
+      storage_;
+};
+
+/// A set of equal-length named columns.
+class Table {
+ public:
+  /// Adds a column and returns its index. All columns must have the same
+  /// row count; duplicate names abort.
+  size_t AddColumn(std::string name, Column column);
+
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  bool HasColumn(const std::string& name) const;
+
+  /// Index of `name`; aborts (loudly, naming the column) if absent.
+  size_t ColumnIndex(const std::string& name) const;
+
+  const Column& ColumnAt(size_t index) const {
+    MEMAGG_CHECK(index < columns_.size() && "column index out of range");
+    return columns_[index];
+  }
+  const std::string& ColumnNameAt(size_t index) const {
+    MEMAGG_CHECK(index < names_.size() && "column index out of range");
+    return names_[index];
+  }
+
+  /// Convenience: ColumnAt(ColumnIndex(name)).
+  const Column& ColumnNamed(const std::string& name) const {
+    return ColumnAt(ColumnIndex(name));
+  }
+
+  /// Mutable access for in-place maintenance (RemapCodes); the column set
+  /// itself stays fixed.
+  Column& MutableColumnAt(size_t index) {
+    MEMAGG_CHECK(index < columns_.size() && "column index out of range");
+    return columns_[index];
+  }
+
+  /// Approximate bytes held by all columns.
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<Column> columns_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace memagg
+
+#endif  // MEMAGG_DATA_TABLE_H_

@@ -22,6 +22,7 @@
 
 #include "hash/hash_fn.h"
 #include "mem/allocator.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/prime.h"
 #include "util/tracer.h"
@@ -41,7 +42,7 @@ class ChainingMap {
     // Constructs the value in place (no temporary), so non-trivial values
     // are created and destroyed exactly once per node.
     Node(uint64_t k, Node* nxt) : key(k), next(nxt) {}
-    uint64_t key;
+    EncodedKey key;
     Value value{};
     Node* next;
   };
@@ -66,7 +67,7 @@ class ChainingMap {
   ChainingMap& operator=(const ChainingMap&) = delete;
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     if (MEMAGG_UNLIKELY(size_ >= buckets_.size())) {
       // libstdc++ grows when the load factor would exceed 1.0.
       ++rehashes_;
@@ -97,7 +98,7 @@ class ChainingMap {
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     const size_t idx = HashKey(key) % buckets_.size();
     Tracer::OnAccess(&buckets_[idx], sizeof(Node*));
     for (const Node* node = buckets_[idx]; node != nullptr;
@@ -108,7 +109,7 @@ class ChainingMap {
     return nullptr;
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(
         static_cast<const ChainingMap*>(this)->Find(key));
   }

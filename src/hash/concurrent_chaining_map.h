@@ -19,6 +19,7 @@
 #include "hash/hash_fn.h"
 #include "mem/allocator.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -43,7 +44,7 @@ class ConcurrentChainingMap {
     // Value is default-constructed in place so non-movable values (atomics,
     // lock-guarded buffers) are supported.
     Node(uint64_t k, Node* nxt) : key(k), next(nxt) {}
-    uint64_t key;
+    EncodedKey key;
     Value value{};
     Node* next;
   };
@@ -94,7 +95,7 @@ class ConcurrentChainingMap {
   /// handle; on insert races exactly one node wins, all callers converge on
   /// it, and the loser's node goes back to the loser's own freelist (it was
   /// never published, so no other thread can observe it).
-  Value& GetOrInsert(uint64_t key, Alloc& alloc) {
+  Value& GetOrInsert(EncodedKey key, Alloc& alloc) {
     std::atomic<Node*>& head = buckets_[HashKey(key) & mask_];
     Node* first = head.load(std::memory_order_acquire);
     if (Value* found = FindInChain(first, key)) return *found;
@@ -116,12 +117,12 @@ class ConcurrentChainingMap {
   }
 
   /// Returns the value for `key` or nullptr. Thread-safe.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     const std::atomic<Node*>& head = buckets_[HashKey(key) & mask_];
     return FindInChain(head.load(std::memory_order_acquire), key);
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     const auto* self = this;
     return const_cast<Value*>(self->Find(key));
   }
@@ -162,7 +163,7 @@ class ConcurrentChainingMap {
     }
   }
 
-  static const Value* FindInChain(const Node* node, uint64_t key,
+  static const Value* FindInChain(const Node* node, EncodedKey key,
                                   const Node* stop_at = nullptr) {
     for (; node != stop_at; node = node->next) {
       if (node->key == key) return &node->value;
@@ -170,7 +171,7 @@ class ConcurrentChainingMap {
     return nullptr;
   }
 
-  static Value* FindInChain(Node* node, uint64_t key,
+  static Value* FindInChain(Node* node, EncodedKey key,
                             const Node* stop_at = nullptr) {
     for (; node != stop_at; node = node->next) {
       if (node->key == key) return &node->value;

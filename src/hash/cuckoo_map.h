@@ -26,6 +26,7 @@
 
 #include "hash/hash_fn.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/mutex.h"
 #include "util/simd.h"
@@ -75,7 +76,7 @@ class CuckooMap {
   /// libcuckoo's upsert, which the paper highlights as the feature that lets
   /// Hash_LC support holistic aggregation (Section 5.8).
   template <typename Fn>
-  void Upsert(uint64_t key, Fn fn) EXCLUDES(resize_mutex_) {
+  void Upsert(EncodedKey key, Fn fn) EXCLUDES(resize_mutex_) {
     // The empty sentinel would match every free slot's key; reject it loudly
     // (always on — aliasing a sentinel corrupts the table unrecoverably).
     MEMAGG_CHECK(key != kEmptyKey);
@@ -107,7 +108,7 @@ class CuckooMap {
   }
 
   /// True if `key` is present. Thread-safe.
-  bool Contains(uint64_t key) const {
+  bool Contains(EncodedKey key) const {
     return const_cast<CuckooMap*>(this)->WithValue(
         key, [](const Value&) {});
   }
@@ -115,7 +116,7 @@ class CuckooMap {
   /// Applies `fn(Value&)` to the value for `key` if present; returns whether
   /// the key was found. Thread-safe.
   template <typename Fn>
-  bool WithValue(uint64_t key, Fn fn) EXCLUDES(resize_mutex_) {
+  bool WithValue(EncodedKey key, Fn fn) EXCLUDES(resize_mutex_) {
     ReaderMutexLock resize_guard(resize_mutex_);
     const size_t b1 = HashKey(key) & mask_;
     const size_t b2 = HashKeyAlt(key) & mask_;
@@ -129,7 +130,7 @@ class CuckooMap {
 
   /// Single-threaded convenience: returns the value slot for `key`,
   /// inserting a default if absent.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     Value* result = nullptr;
     Upsert(key, [&result](Value& v) { result = &v; });
     return *result;
@@ -138,13 +139,13 @@ class CuckooMap {
   /// Single-threaded convenience lookup.
   // NO_THREAD_SAFETY_ANALYSIS: documented lock-free single-threaded API —
   // takes neither the resize lock nor stripe locks by contract.
-  const Value* Find(uint64_t key) const NO_THREAD_SAFETY_ANALYSIS {
+  const Value* Find(EncodedKey key) const NO_THREAD_SAFETY_ANALYSIS {
     const size_t b1 = HashKey(key) & mask_;
     const size_t b2 = HashKeyAlt(key) & mask_;
     return const_cast<CuckooMap*>(this)->FindInBuckets(key, b1, b2);
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(
         static_cast<const CuckooMap*>(this)->Find(key));
   }
@@ -242,7 +243,7 @@ class CuckooMap {
     SpinLock* second_ = nullptr;
   };
 
-  Value* FindInBuckets(uint64_t key, size_t b1, size_t b2)
+  Value* FindInBuckets(EncodedKey key, size_t b1, size_t b2)
       REQUIRES_SHARED(resize_mutex_) {
     for (size_t b : {b1, b2}) {
       Bucket& bucket = buckets_[b];
@@ -253,7 +254,7 @@ class CuckooMap {
     return nullptr;
   }
 
-  Value* TryInsertEmpty(uint64_t key, size_t b1, size_t b2)
+  Value* TryInsertEmpty(EncodedKey key, size_t b1, size_t b2)
       REQUIRES_SHARED(resize_mutex_) {
     for (size_t b : {b1, b2}) {
       Bucket& bucket = buckets_[b];
@@ -305,7 +306,7 @@ class CuckooMap {
           return ExecutePath(nodes, static_cast<int>(i));
         }
         for (int slot = 0; slot < kSlotsPerBucket; ++slot) {
-          const uint64_t key = keys[slot];
+          const EncodedKey key = keys[slot];
           const size_t alt = ((HashKey(key) & mask_) == b ? HashKeyAlt(key)
                                                           : HashKey(key)) &
                              mask_;
@@ -337,7 +338,7 @@ class CuckooMap {
       StripePair stripes(*this, from, to);
       Bucket& from_bucket = buckets_[from];
       Bucket& to_bucket = buckets_[to];
-      const uint64_t key = from_bucket.keys[from_slot];
+      const EncodedKey key = from_bucket.keys[from_slot];
       if (key == kEmptyKey) return true;  // Slot already freed; done early.
       // Revalidate that `to` is still this key's alternate bucket and find a
       // free slot in it.
@@ -389,7 +390,7 @@ class CuckooMap {
   /// 50% load, where 4-way bucketized cuckoo insertion cannot fail short of
   /// an adversarial hash collision — which the CHECK converts into a loud
   /// failure instead of a livelock.
-  void ReinsertLocked(uint64_t key, Value value) REQUIRES(resize_mutex_) {
+  void ReinsertLocked(EncodedKey key, Value value) REQUIRES(resize_mutex_) {
     size_t b = HashKey(key) & mask_;
     for (int displacements = 0; displacements < 10000; ++displacements) {
       const size_t alt =

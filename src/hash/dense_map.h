@@ -26,6 +26,7 @@
 
 #include "hash/hash_fn.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/simd.h"
 #include "util/tracer.h"
@@ -52,7 +53,7 @@ class DenseMap {
   }
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     // The empty sentinel would silently alias every empty slot; reject it
     // before it can corrupt the table (always on, not just in debug builds —
     // the branch is perfectly predicted and the aliasing is unrecoverable).
@@ -103,7 +104,7 @@ class DenseMap {
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     MEMAGG_CHECK(key != kEmptyKey);
     const uint64_t hash = HashKey(key);
     const uint8_t tag = simd::TagOfHash(hash);
@@ -123,7 +124,7 @@ class DenseMap {
     }
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(static_cast<const DenseMap*>(this)->Find(key));
   }
 
@@ -147,7 +148,7 @@ class DenseMap {
 
  private:
   struct Slot {
-    uint64_t key = kEmptyKey;
+    EncodedKey key = kEmptyKey;
     Value value{};
   };
 

@@ -18,12 +18,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/encoded_key.h"
 #include "util/simd.h"
 
 namespace memagg {
 
 /// Mixes `key` into a uniformly distributed 64-bit hash.
-inline uint64_t HashKey(uint64_t key) { return simd::HashMix64(key); }
+inline uint64_t HashKey(EncodedKey key) { return simd::HashMix64(key); }
 
 /// Hashes `n` keys at once through the active SIMD lane: out[i] =
 /// HashKey(keys[i]), bit-identical to the scalar loop on every lane.
@@ -33,7 +34,7 @@ inline void HashKeysBatch(const uint64_t* keys, size_t n, uint64_t* out) {
 
 /// A second, independent hash for cuckoo hashing's alternate table.
 /// Deliberately NOT routed through simd::HashMix64 — see the header comment.
-inline uint64_t HashKeyAlt(uint64_t key) {
+inline uint64_t HashKeyAlt(EncodedKey key) {
   uint64_t h = key + 0x9e3779b97f4a7c15ULL;
   h ^= h >> 30;
   h *= 0xbf58476d1ce4e5b9ULL;

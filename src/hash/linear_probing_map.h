@@ -41,6 +41,7 @@
 #include "hash/hash_fn.h"
 #include "mem/allocator.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/prime.h"
 #include "util/simd.h"
@@ -120,7 +121,7 @@ class LinearProbingMap {
   }
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     // The empty sentinel would silently alias every empty slot; reject it
     // before it can corrupt the table (always on, not just in debug builds).
     MEMAGG_CHECK(key != kEmptyKey);
@@ -173,7 +174,7 @@ class LinearProbingMap {
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     MEMAGG_CHECK(key != kEmptyKey);
     const uint64_t hash = HashKey(key);
     const uint8_t tag = simd::TagOfHash(hash);
@@ -192,7 +193,7 @@ class LinearProbingMap {
     }
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(
         static_cast<const LinearProbingMap*>(this)->Find(key));
   }
@@ -264,7 +265,7 @@ class LinearProbingMap {
 
  private:
   struct Slot {
-    uint64_t key = kEmptyKey;
+    EncodedKey key = kEmptyKey;
     Value value{};
   };
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sort/spreadsort.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 
 namespace memagg {
@@ -53,7 +54,7 @@ class OrderedMinimalPerfectHash {
 
   /// The slot of `key` in [0, size()), or size() if the key was not in the
   /// build set. Slots are ordered: key1 < key2 implies slot1 < slot2.
-  size_t Slot(uint64_t key) const {
+  size_t Slot(EncodedKey key) const {
     // Eytzinger (BFS-order) binary search: the next probe is a predictable
     // child index, and the hot top levels share cache lines.
     const size_t n = eytzinger_.size();

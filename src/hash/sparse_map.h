@@ -19,6 +19,7 @@
 #include "hash/hash_fn.h"
 #include "mem/allocator.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
@@ -53,7 +54,7 @@ class SparseMap {
   SparseMap& operator=(const SparseMap&) = delete;
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     // sparsehash grows at 80% occupancy.
     if (MEMAGG_UNLIKELY((size_ + 1) * 5 > capacity_ * 4)) {
       Rebuild(capacity_ * 2);
@@ -86,7 +87,7 @@ class SparseMap {
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     size_t idx = HashKey(key) & mask_;
     size_t step = 0;
     while (true) {
@@ -101,7 +102,7 @@ class SparseMap {
     }
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(static_cast<const SparseMap*>(this)->Find(key));
   }
 
@@ -134,7 +135,7 @@ class SparseMap {
   static constexpr size_t kGroupSize = 48;  // sparsehash's group width.
 
   struct Entry {
-    uint64_t key;
+    EncodedKey key;
     Value value;
   };
 
@@ -154,7 +155,7 @@ class SparseMap {
 
     /// Inserts a default-valued entry for `key` at packed position `rank`,
     /// reallocating the packed array to the exact new size.
-    Entry& InsertAt(Alloc& alloc, size_t rank, uint32_t bit, uint64_t key) {
+    Entry& InsertAt(Alloc& alloc, size_t rank, uint32_t bit, EncodedKey key) {
       const size_t old_count = Count();
       Entry* new_entries = static_cast<Entry*>(
           alloc.AllocateBytes(sizeof(Entry) * (old_count + 1), alignof(Entry)));

@@ -23,6 +23,7 @@
 
 #include "hash/hash_fn.h"
 #include "util/bits.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/spinlock.h"
 #include "util/thread_annotations.h"
@@ -62,7 +63,7 @@ class StripedMap {
   /// the protocol is kept locally obvious: every stripe access in this class
   /// sits directly under its SpinLockGuard.
   template <typename Fn>
-  void Upsert(uint64_t key, Fn fn) {
+  void Upsert(EncodedKey key, Fn fn) {
     const size_t stripe = StripeOf(key);
     SpinLockGuard guard(locks_[stripe]);
     fn(stripes_[stripe]->GetOrInsert(key));
@@ -71,7 +72,7 @@ class StripedMap {
   /// Applies `fn(const Value&)` under the stripe lock if present; returns
   /// whether the key was found. Thread-safe.
   template <typename Fn>
-  bool WithValue(uint64_t key, Fn fn) const {
+  bool WithValue(EncodedKey key, Fn fn) const {
     const size_t stripe = StripeOf(key);
     SpinLockGuard guard(locks_[stripe]);
     const auto* value = stripes_[stripe]->Find(key);
@@ -110,7 +111,7 @@ class StripedMap {
   }
 
  private:
-  size_t StripeOf(uint64_t key) const {
+  size_t StripeOf(EncodedKey key) const {
     // Use high hash bits for the stripe so the inner map's low-bit masking
     // stays independent.
     return (HashKey(key) >> 48) & (num_stripes_ - 1);

@@ -27,6 +27,7 @@
 #include <utility>
 
 #include "mem/allocator.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/simd.h"
 #include "util/tracer.h"
@@ -61,14 +62,14 @@ class ArtTree {
   ArtTree& operator=(const ArtTree&) = delete;
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     uint8_t bytes[8];
     EncodeKey(key, bytes);
     return InsertImpl(&root_, bytes, 0, key);
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     uint8_t bytes[8];
     EncodeKey(key, bytes);
     const Node* node = root_;
@@ -92,7 +93,7 @@ class ArtTree {
     return nullptr;
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(static_cast<const ArtTree*>(this)->Find(key));
   }
 
@@ -166,7 +167,7 @@ class ArtTree {
 
   struct Leaf : Node {
     explicit Leaf(uint64_t k) : Node(NodeType::kLeaf), key(k) {}
-    uint64_t key;
+    EncodedKey key;
     Value value{};
   };
 
@@ -208,7 +209,7 @@ class ArtTree {
     Node* children[256] = {};
   };
 
-  static void EncodeKey(uint64_t key, uint8_t out[8]) {
+  static void EncodeKey(EncodedKey key, uint8_t out[8]) {
     for (int i = 0; i < 8; ++i) {
       out[i] = static_cast<uint8_t>(key >> (56 - 8 * i));
     }
@@ -220,7 +221,7 @@ class ArtTree {
     return alloc_.template New<T>();
   }
 
-  Leaf* NewLeaf(uint64_t key) {
+  Leaf* NewLeaf(EncodedKey key) {
     memory_bytes_ += sizeof(Leaf);
     ++size_;
     return alloc_.template New<Leaf>(key);
@@ -435,7 +436,7 @@ class ArtTree {
   }
 
   Value& InsertImpl(Node** slot, const uint8_t bytes[8], size_t depth,
-                    uint64_t key) {
+                    EncodedKey key) {
     Node* node = *slot;
     if (node != nullptr) Tracer::OnAccess(node, NodeBytes(node));
     if (node == nullptr) {

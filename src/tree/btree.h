@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "mem/allocator.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
@@ -47,7 +48,7 @@ class BTree {
   BTree& operator=(const BTree&) = delete;
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     if (root_ == nullptr) {
       Leaf* leaf = NewLeaf();
       root_ = leaf;
@@ -67,7 +68,7 @@ class BTree {
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     const Node* node = root_;
     if (node == nullptr) return nullptr;
     while (!node->is_leaf) {
@@ -82,7 +83,7 @@ class BTree {
     return nullptr;
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(static_cast<const BTree*>(this)->Find(key));
   }
 
@@ -183,7 +184,7 @@ class BTree {
   };
 
   /// First index with keys[i] >= key.
-  static int LowerBound(const uint64_t* keys, int count, uint64_t key) {
+  static int LowerBound(const uint64_t* keys, int count, EncodedKey key) {
     int lo = 0;
     int hi = count;
     while (lo < hi) {
@@ -198,7 +199,7 @@ class BTree {
   }
 
   /// First index with keys[i] > key.
-  static int UpperBound(const uint64_t* keys, int count, uint64_t key) {
+  static int UpperBound(const uint64_t* keys, int count, EncodedKey key) {
     int lo = 0;
     int hi = count;
     while (lo < hi) {
@@ -213,7 +214,7 @@ class BTree {
   }
 
   /// Recursive insert; fills `*split` if `node` split.
-  Value* InsertImpl(Node* node, uint64_t key, SplitResult* split) {
+  Value* InsertImpl(Node* node, EncodedKey key, SplitResult* split) {
     split->new_node = nullptr;
     Tracer::OnAccess(node, node->is_leaf ? sizeof(Leaf) : sizeof(Inner));
     if (node->is_leaf) {

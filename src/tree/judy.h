@@ -25,6 +25,7 @@
 #include <utility>
 
 #include "mem/allocator.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
@@ -56,14 +57,14 @@ class JudyArray {
   JudyArray& operator=(const JudyArray&) = delete;
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     uint8_t bytes[8];
     EncodeKey(key, bytes);
     return InsertImpl(&root_, bytes, 0, key);
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     uint8_t bytes[8];
     EncodeKey(key, bytes);
     const Node* node = root_;
@@ -109,7 +110,7 @@ class JudyArray {
     return nullptr;
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(static_cast<const JudyArray*>(this)->Find(key));
   }
 
@@ -209,7 +210,7 @@ class JudyArray {
     int Rank(uint8_t b) const { return bitmap.Rank(b); }
   };
 
-  static void EncodeKey(uint64_t key, uint8_t out[8]) {
+  static void EncodeKey(EncodedKey key, uint8_t out[8]) {
     for (int i = 0; i < 8; ++i) {
       out[i] = static_cast<uint8_t>(key >> (56 - 8 * i));
     }
@@ -230,7 +231,7 @@ class JudyArray {
   }
 
   Value& InsertImpl(Node** slot, const uint8_t bytes[8], size_t depth,
-                    uint64_t key) {
+                    EncodedKey key) {
     Node* node = *slot;
     if (node != nullptr) Tracer::OnAccess(node, NodeBytes(node));
     if (node == nullptr) {
@@ -331,7 +332,7 @@ class JudyArray {
   /// Splits `*slot`'s skip prefix at `split_at` (where it diverges from the
   /// inserted key) by interposing a linear branch.
   Value& SplitSkip(Node** slot, const uint8_t bytes[8], size_t depth,
-                   size_t split_at, uint64_t key) {
+                   size_t split_at, EncodedKey key) {
     Node* node = *slot;
     BranchLinear* branch = NewBranchLinear();
     branch->skip_len = static_cast<uint8_t>(split_at);

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "mem/allocator.h"
+#include "util/encoded_key.h"
 #include "util/macros.h"
 #include "util/tracer.h"
 
@@ -65,7 +66,7 @@ class TTree {
   TTree& operator=(const TTree&) = delete;
 
   /// Returns the value slot for `key`, default-constructing it on first use.
-  Value& GetOrInsert(uint64_t key) {
+  Value& GetOrInsert(EncodedKey key) {
     Value* result = nullptr;
     root_ = InsertRec(root_, key, &result);
     MEMAGG_DCHECK(result != nullptr);
@@ -73,7 +74,7 @@ class TTree {
   }
 
   /// Returns the value for `key` or nullptr if absent.
-  const Value* Find(uint64_t key) const {
+  const Value* Find(EncodedKey key) const {
     const Node* node = root_;
     while (node != nullptr) {
       Tracer::OnAccess(node, sizeof(Node));
@@ -92,7 +93,7 @@ class TTree {
     return nullptr;
   }
 
-  Value* Find(uint64_t key) {
+  Value* Find(EncodedKey key) {
     return const_cast<Value*>(static_cast<const TTree*>(this)->Find(key));
   }
 
@@ -137,7 +138,7 @@ class TTree {
   }
 
  private:
-  static int LowerBound(const Node* node, uint64_t key) {
+  static int LowerBound(const Node* node, EncodedKey key) {
     return static_cast<int>(
         std::lower_bound(node->keys, node->keys + node->count, key) -
         node->keys);
@@ -187,7 +188,7 @@ class TTree {
     return node;
   }
 
-  Node* NewNode(uint64_t key, Value** result) {
+  Node* NewNode(EncodedKey key, Value** result) {
     Node* node = alloc_.template New<Node>();
     node->keys[0] = key;
     node->values[0] = Value{};
@@ -199,7 +200,7 @@ class TTree {
   }
 
   /// Inserts `key` into the entry array of `node` at sorted position `pos`.
-  Value* InsertIntoNode(Node* node, int pos, uint64_t key) {
+  Value* InsertIntoNode(Node* node, int pos, EncodedKey key) {
     for (int i = node->count; i > pos; --i) {
       node->keys[i] = node->keys[i - 1];
       node->values[i] = std::move(node->values[i - 1]);
@@ -211,7 +212,7 @@ class TTree {
     return &node->values[pos];
   }
 
-  Node* InsertRec(Node* node, uint64_t key, Value** result) {
+  Node* InsertRec(Node* node, EncodedKey key, Value** result) {
     if (node == nullptr) return NewNode(key, result);
     Tracer::OnAccess(node, sizeof(Node));
     if (key < node->keys[0]) {

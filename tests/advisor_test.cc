@@ -44,6 +44,20 @@ TEST(AdvisorTest, VectorHolisticPicksSpreadsort) {
             "Spreadsort");
 }
 
+TEST(AdvisorTest, VectorHolisticWideKeyPicksIntrosort) {
+  // Spreadsort's byte-radix passes pay per key byte, so past the paper's
+  // 32-bit synthetic domain the comparison sort wins (the columnar layer
+  // feeds real composite-key widths through key_width_bits).
+  WorkloadProfile profile = Profile(OutputFormat::kVector,
+                                    FunctionCategory::kHolistic, false, false,
+                                    false, 1);
+  profile.key_width_bits = 48;
+  EXPECT_EQ(RecommendAlgorithm(profile), "Introsort");
+  // At or below 32 bits the default recommendation is unchanged.
+  profile.key_width_bits = 32;
+  EXPECT_EQ(RecommendAlgorithm(profile), "Spreadsort");
+}
+
 TEST(AdvisorTest, VectorHolisticMultithreadedPicksSortBI) {
   EXPECT_EQ(RecommendAlgorithm(Profile(OutputFormat::kVector,
                                        FunctionCategory::kHolistic, false,

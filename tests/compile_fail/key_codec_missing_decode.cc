@@ -1,0 +1,27 @@
+// compile-fail: a codec that can only encode must be rejected with
+// TableKeyCodec in the diagnostic — the execution front-end decodes every
+// result key back to column values, so an encode-only codec would strand
+// the results as opaque integers.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/table_exec.h"
+#include "util/encoded_key.h"
+
+namespace memagg {
+
+class EncodeOnlyCodec {
+ public:
+  size_t num_fields() const;
+  int width_bits() const;
+  bool order_preserving() const;
+  std::vector<EncodedKey> EncodeAll() const;
+  // No Decode(EncodedKey).
+};
+
+void Broken(const EncodeOnlyCodec& codec, const std::vector<EncodedKey>& keys) {
+  DecodeKeyColumn(codec, keys);
+}
+
+}  // namespace memagg

@@ -1,0 +1,22 @@
+// compile-fail: the execution front-end's table-generic helpers must reject
+// a type without the columnar surface, with ColumnarTable in the
+// diagnostic — a keys/values pair of raw vectors is the legacy harness
+// shape, not a table.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/table_exec.h"
+
+namespace memagg {
+
+struct RawHarnessInput {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> values;
+};
+
+size_t Broken(const RawHarnessInput& input, const TableQuery& query) {
+  return QueryFootprintBytes(input, query);
+}
+
+}  // namespace memagg

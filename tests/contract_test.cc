@@ -5,6 +5,7 @@
 
 #include "core/engine.h"
 #include "data/dataset.h"
+#include "data/lineitem.h"
 #include "util/cli.h"
 
 namespace memagg {
@@ -14,17 +15,34 @@ using ContractDeathTest = ::testing::Test;
 
 TEST(ContractDeathTest, GenerateKeysRejectsInvalidSpec) {
   DatasetSpec spec{Distribution::kRseq, 10, 100, 1};  // cardinality > n.
-  EXPECT_DEATH(GenerateKeys(spec), "MEMAGG_CHECK");
+  EXPECT_DEATH(GenerateKeys(spec), "cannot exceed the record count");
+}
+
+TEST(ContractDeathTest, GenerateKeysRejectsZeroCardinality) {
+  DatasetSpec spec{Distribution::kRseq, 10, 0, 1};
+  EXPECT_DEATH(GenerateKeys(spec), "cardinality must be at least 1");
 }
 
 TEST(ContractDeathTest, GenerateKeysRejectsOverconstrainedHhit) {
   DatasetSpec spec{Distribution::kHhit, 100, 99, 1};
-  EXPECT_DEATH(GenerateKeys(spec), "MEMAGG_CHECK");
+  EXPECT_DEATH(GenerateKeys(spec), "cover half the records");
 }
 
 TEST(ContractDeathTest, GenerateKeysRejectsNarrowMovingCluster) {
   DatasetSpec spec{Distribution::kMovingCluster, 1000, 8, 1};
-  EXPECT_DEATH(GenerateKeys(spec), "MEMAGG_CHECK");
+  EXPECT_DEATH(GenerateKeys(spec), "cardinality >= 64");
+}
+
+TEST(ContractDeathTest, GenerateValuesRejectsEmptyRange) {
+  EXPECT_DEATH(GenerateValues(10, 0), "value_range must be at least 1");
+}
+
+TEST(ContractDeathTest, GenerateLineitemRejectsEmptyTable) {
+  EXPECT_DEATH(GenerateLineitem(0), "at least one row");
+}
+
+TEST(ContractDeathTest, GenerateLineitemRejectsOversizedTable) {
+  EXPECT_DEATH(GenerateLineitem((16ULL << 20) + 1), "exactness bound");
 }
 
 TEST(ContractDeathTest, UnknownAlgorithmLabelAborts) {

@@ -1,0 +1,14 @@
+// Pins data/table.h's public type to its concept row (core/concepts.h).
+// Compiling this TU is the test; it has no runtime code.
+
+#include "core/concepts.h"
+#include "data/table.h"
+
+namespace memagg {
+
+static_assert(ColumnarTable<Table>);
+
+// A bare column vector is not a table: no named-column surface.
+static_assert(!ColumnarTable<Column>);
+
+}  // namespace memagg

@@ -1,0 +1,200 @@
+// Tests for the columnar data layer: StringDict, Column, Table
+// (data/string_dict.h, data/table.h) and the lineitem generator
+// (data/lineitem.h).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/lineitem.h"
+#include "data/string_dict.h"
+#include "data/table.h"
+
+namespace memagg {
+namespace {
+
+TEST(StringDictTest, InternAssignsDenseCodesInFirstSeenOrder) {
+  StringDict dict;
+  EXPECT_EQ(dict.Intern("banana"), 0u);
+  EXPECT_EQ(dict.Intern("apple"), 1u);
+  EXPECT_EQ(dict.Intern("banana"), 0u);  // Idempotent.
+  EXPECT_EQ(dict.Intern("cherry"), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+  EXPECT_EQ(dict.String(0), "banana");
+  EXPECT_EQ(dict.String(1), "apple");
+  EXPECT_EQ(dict.String(2), "cherry");
+}
+
+TEST(StringDictTest, FindDoesNotIntern) {
+  StringDict dict;
+  dict.Intern("x");
+  EXPECT_EQ(dict.Find("x"), 0u);
+  EXPECT_EQ(dict.Find("y"), StringDict::kNoCode);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(StringDictTest, SortedTracksInsertionOrder) {
+  StringDict sorted;
+  sorted.Intern("A");
+  sorted.Intern("B");
+  sorted.Intern("C");
+  EXPECT_TRUE(sorted.sorted());
+
+  StringDict unsorted;
+  unsorted.Intern("B");
+  unsorted.Intern("A");
+  EXPECT_FALSE(unsorted.sorted());
+}
+
+TEST(StringDictTest, FreezeSortedReordersCodes) {
+  StringDict dict;
+  dict.Intern("cherry");   // old 0
+  dict.Intern("apple");    // old 1
+  dict.Intern("banana");   // old 2
+  EXPECT_FALSE(dict.sorted());
+  const std::vector<uint32_t> remap = dict.FreezeSorted();
+  EXPECT_TRUE(dict.sorted());
+  EXPECT_EQ(remap, (std::vector<uint32_t>{2, 0, 1}));
+  EXPECT_EQ(dict.String(0), "apple");
+  EXPECT_EQ(dict.String(1), "banana");
+  EXPECT_EQ(dict.String(2), "cherry");
+  EXPECT_EQ(dict.Find("cherry"), 2u);
+}
+
+TEST(StringDictTest, BoundsSearchOnSortedDict) {
+  StringDict dict;
+  dict.Intern("b");
+  dict.Intern("d");
+  dict.Intern("f");
+  EXPECT_EQ(dict.LowerBound("a"), 0u);
+  EXPECT_EQ(dict.LowerBound("b"), 0u);
+  EXPECT_EQ(dict.LowerBound("c"), 1u);
+  EXPECT_EQ(dict.LowerBound("g"), 3u);
+  EXPECT_EQ(dict.UpperBound("b"), 1u);
+  EXPECT_EQ(dict.UpperBound("e"), 2u);
+  EXPECT_EQ(dict.UpperBound("f"), 3u);
+}
+
+TEST(TableTest, AddColumnAndAccessors) {
+  Table table;
+  table.AddColumn("k", Column::U64({1, 2, 3}));
+  table.AddColumn("v", Column::I64({-1, 0, 1}));
+  table.AddColumn("w", Column::F64({0.5, 1.5, 2.5}));
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_columns(), 3u);
+  EXPECT_TRUE(table.HasColumn("v"));
+  EXPECT_FALSE(table.HasColumn("missing"));
+  EXPECT_EQ(table.ColumnIndex("w"), 2u);
+  EXPECT_EQ(table.ColumnNameAt(0), "k");
+  EXPECT_EQ(table.ColumnNamed("k").u64()[1], 2u);
+  EXPECT_EQ(table.ColumnNamed("v").i64()[0], -1);
+  EXPECT_GT(table.MemoryBytes(), 0u);
+}
+
+TEST(TableTest, StringColumnRoundTrip) {
+  StringDict dict;
+  const uint32_t a = dict.Intern("A");
+  const uint32_t n = dict.Intern("N");
+  Table table;
+  table.AddColumn("flag", Column::String(std::move(dict), {a, n, a}));
+  const Column& column = table.ColumnNamed("flag");
+  EXPECT_EQ(column.type(), ColumnType::kString);
+  EXPECT_EQ(column.dict().String(column.codes()[2]), "A");
+}
+
+TEST(TableTest, FreezeDictSortedRewritesCodesInPlace) {
+  StringDict dict;
+  dict.Intern("R");  // old 0
+  dict.Intern("A");  // old 1
+  Table table;
+  table.AddColumn("flag", Column::String(std::move(dict), {0, 1, 0}));
+  Column& column = table.MutableColumnAt(table.ColumnIndex("flag"));
+  EXPECT_FALSE(column.dict().sorted());
+  column.FreezeDictSorted();
+  EXPECT_TRUE(column.dict().sorted());
+  // Codes changed, decoded strings did not.
+  EXPECT_EQ(column.dict().String(column.codes()[0]), "R");
+  EXPECT_EQ(column.dict().String(column.codes()[1]), "A");
+  EXPECT_EQ(column.codes()[0], 1u);
+}
+
+TEST(TableDeathTest, MismatchedRowCountAborts) {
+  Table table;
+  table.AddColumn("a", Column::U64({1, 2, 3}));
+  EXPECT_DEATH(table.AddColumn("b", Column::U64({1})),
+               "row count does not match");
+}
+
+TEST(TableDeathTest, DuplicateColumnNameAborts) {
+  Table table;
+  table.AddColumn("a", Column::U64({1}));
+  EXPECT_DEATH(table.AddColumn("a", Column::U64({2})),
+               "duplicate column name");
+}
+
+TEST(TableDeathTest, UnknownColumnAbortsWithName) {
+  Table table;
+  table.AddColumn("a", Column::U64({1}));
+  EXPECT_DEATH(table.ColumnIndex("nope"), "Unknown column: nope");
+}
+
+TEST(TableDeathTest, WrongTypeAccessAborts) {
+  Table table;
+  table.AddColumn("a", Column::U64({1}));
+  EXPECT_DEATH(table.ColumnNamed("a").i64(), "wrong type");
+}
+
+TEST(TableDeathTest, StringColumnRejectsOutOfDictCodes) {
+  StringDict dict;
+  dict.Intern("only");
+  EXPECT_DEATH(Column::String(std::move(dict), {0, 7}),
+               "not present in its dictionary");
+}
+
+TEST(LineitemTest, ShapeAndDeterminism) {
+  const Table table = GenerateLineitem(1000, 42);
+  EXPECT_EQ(table.num_rows(), 1000u);
+  for (const char* name :
+       {"l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+        "l_discount", "l_tax", "l_shipdate", "disc_price"}) {
+    EXPECT_TRUE(table.HasColumn(name)) << name;
+  }
+  // Deterministic in (n, seed).
+  const Table again = GenerateLineitem(1000, 42);
+  EXPECT_EQ(table.ColumnNamed("l_quantity").u64(),
+            again.ColumnNamed("l_quantity").u64());
+  const Table other_seed = GenerateLineitem(1000, 43);
+  EXPECT_NE(table.ColumnNamed("l_quantity").u64(),
+            other_seed.ColumnNamed("l_quantity").u64());
+}
+
+TEST(LineitemTest, ColumnDomainsAndCorrelations) {
+  const Table table = GenerateLineitem(5000, 7);
+  const auto& quantity = table.ColumnNamed("l_quantity").u64();
+  const auto& extendedprice = table.ColumnNamed("l_extendedprice").u64();
+  const auto& discount = table.ColumnNamed("l_discount").u64();
+  const auto& shipdate = table.ColumnNamed("l_shipdate").u64();
+  const auto& disc_price = table.ColumnNamed("disc_price").u64();
+  const Column& returnflag = table.ColumnNamed("l_returnflag");
+  const Column& linestatus = table.ColumnNamed("l_linestatus");
+  EXPECT_TRUE(returnflag.dict().sorted());
+  EXPECT_TRUE(linestatus.dict().sorted());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    EXPECT_GE(quantity[i], 1u);
+    EXPECT_LE(quantity[i], 50u);
+    EXPECT_LE(discount[i], 10u);
+    EXPECT_LT(shipdate[i], kLineitemShipdateDays);
+    EXPECT_EQ(disc_price[i], extendedprice[i] * (100 - discount[i]));
+    // The dbgen-style correlation: open shipments are never returned.
+    const std::string& status =
+        linestatus.dict().String(linestatus.codes()[i]);
+    const std::string& flag = returnflag.dict().String(returnflag.codes()[i]);
+    if (status == "O") {
+      EXPECT_EQ(flag, "N");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memagg

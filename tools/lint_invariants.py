@@ -50,6 +50,15 @@ the repo-specific discipline that neither can express:
                        sse42/avx2 ablation and the -mno-avx2 CI job stay
                        meaningful. _mm_pause in spinlock.h carries a waiver:
                        it is a scheduling hint, not a data kernel.
+  raw-key-type         key-typed declarations in the key-consuming layers
+                       (src/hash/, src/tree/, src/core/, bench/) must use
+                       the EncodedKey alias (util/encoded_key.h), not raw
+                       `uint64_t key` — the alias is the single place the
+                       encoded key width is defined, so codec refactors
+                       (data/key_codec.h packs composite keys into it) stay
+                       one-line. Derived names (key_count, keys) and other
+                       uint64_t values are fine; legacy paper benches carry
+                       waivers.
   unconstrained-typename
                        headers under src/core/ may not declare bare
                        `template <typename X>` / `template <class X>`
@@ -314,6 +323,23 @@ def check_raw_simd_intrinsic(relpath, stripped):
         )
 
 
+RAW_KEY_TYPE_RE = re.compile(r"\buint64_t\s+key_?\b")
+KEY_LAYER_PREFIXES = ("src/hash/", "src/tree/", "src/core/", "bench/")
+
+
+def check_raw_key_type(relpath, stripped):
+    if not relpath.as_posix().startswith(KEY_LAYER_PREFIXES):
+        return
+    for match in RAW_KEY_TYPE_RE.finditer(stripped):
+        yield (
+            line_of(stripped, match.start()),
+            "raw-key-type",
+            "raw `uint64_t key` in a key-consuming layer — use EncodedKey "
+            "(util/encoded_key.h) so the encoded key width stays defined "
+            "in one place",
+        )
+
+
 TEMPLATE_INTRO_RE = re.compile(r"\btemplate\s*<")
 TYPE_PARAM_RE = re.compile(r"^\s*(typename|class)\b")
 
@@ -415,6 +441,7 @@ RULES = (
     (LIBRARY_DIRS, check_include_guard),
     (LIBRARY_DIRS, check_raw_node_alloc),
     (ALL_DIRS, check_raw_simd_intrinsic),
+    (LIBRARY_DIRS, check_raw_key_type),
     (LIBRARY_DIRS, check_unconstrained_typename),
     (LIBRARY_DIRS, check_fixed_aggregator_construction),
 )
@@ -590,6 +617,21 @@ FIXTURES = [
         "src/core/hybrid_aggregator.h",  # family headers compose internally
         "",
         "void f() { hash_ = std::make_unique<HashAggregator<Agg>>(64); }\n",
+    ),
+    (
+        "raw-key-type",
+        "src/core/widget.h",
+        "void Visit(uint64_t key, uint64_t value);\n",
+        "void Visit(EncodedKey key, uint64_t value);\n"
+        "uint64_t key_count = 0;\n"
+        "void f(const std::vector<uint64_t>& keys);\n"
+        "uint64_t value = 0;\n",
+    ),
+    (
+        "raw-key-type",
+        "src/data/widget.h",  # codec layer defines the packing: exempt
+        "",
+        "uint64_t key = Pack(fields);\n",
     ),
     (
         "unconstrained-typename",

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Maintain the committed golden files for validated benchmark workloads.
+
+Today there is one golden: the TPC-H Q1-shaped workload over the columnar
+Table layer (bench/bench_tpch_q1.cc, bench/golden/tpch_q1_r200000.txt).
+The bench's measures are u64 fixed-point, so every operator family —
+serial, parallel, and the adaptive operator at any thread count — must
+reproduce the committed result byte for byte. This script is a thin driver
+around the bench binary's --write-golden / --check-golden modes so the
+regeneration recipe lives in one place and CI can gate on it.
+
+Usage:
+    make_golden.py --bench build/bench/bench_tpch_q1
+        Regenerate bench/golden/tpch_q1_r200000.txt in place. Run after a
+        deliberate change to the lineitem generator or the query shape, and
+        commit the diff (an unexplained diff is a correctness bug: the
+        fixed-point design makes results independent of execution order).
+
+    make_golden.py --check --bench build/bench/bench_tpch_q1
+        Re-run every family against the committed golden; exit 1 on any
+        divergence. CI runs this under ASan; `ctest -R tpch_q1_golden`
+        is the same check via the test suite.
+
+Both modes accept --records/--seed/--golden to target a different file
+(the golden file name encodes the record count, so non-default sizes
+write alongside the committed one rather than over it).
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_RECORDS = 200000
+DEFAULT_SEED = 0x11E171
+
+
+def default_golden_path(records):
+    return os.path.join(REPO_ROOT, "bench", "golden",
+                        f"tpch_q1_r{records}.txt")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Regenerate or check the TPC-H Q1 golden file.")
+    parser.add_argument("--bench", required=True,
+                        help="path to the built bench_tpch_q1 binary")
+    parser.add_argument("--check", action="store_true",
+                        help="validate every family against the golden "
+                             "instead of regenerating it")
+    parser.add_argument("--records", type=int, default=DEFAULT_RECORDS)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--golden", default=None,
+                        help="golden file path (default: "
+                             "bench/golden/tpch_q1_r<records>.txt)")
+    args = parser.parse_args()
+
+    if not os.path.isfile(args.bench):
+        raise SystemExit(f"error: bench binary not found: {args.bench}\n"
+                         "build it first: cmake --build build "
+                         "--target bench_tpch_q1")
+    golden = args.golden or default_golden_path(args.records)
+
+    mode = "--check-golden" if args.check else "--write-golden"
+    if args.check and not os.path.isfile(golden):
+        raise SystemExit(f"error: golden file not found: {golden}\n"
+                         "regenerate it: make_golden.py --bench "
+                         f"{args.bench}")
+    if not args.check:
+        os.makedirs(os.path.dirname(golden), exist_ok=True)
+
+    command = [
+        args.bench,
+        f"--records={args.records}",
+        f"--seed={args.seed}",
+        f"{mode}={golden}",
+    ]
+    print("+", " ".join(command))
+    result = subprocess.run(command, check=False)
+    return result.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -222,6 +222,7 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
                           ? nullptr
                           : std::make_unique<WorkerArenas>(exec.num_threads)),
         arenas_(owned_arenas_ != nullptr ? owned_arenas_.get() : exec.arenas),
+        lease_(arenas_->Acquire()),
         pools_(exec.num_threads),
         map_(expected_size) {
     for (int w = 0; w < pools_.size(); ++w) {
@@ -270,6 +271,10 @@ class TbbStyleParallelAggregator final : public VectorAggregator {
   ExecutionContext exec_;
   std::unique_ptr<WorkerArenas> owned_arenas_;
   WorkerArenas* arenas_;
+  // Declared between arenas_ and the node-holding members: reverse
+  // destruction releases the lease only after map_ and pools_ have torn
+  // down, so a context pool cannot be ResetAll()'d out from under them.
+  WorkerArenas::Lease lease_;
   WorkerLocal<NodeAlloc> pools_;
   // Declared last: the map's destructor runs node destructors while the
   // arenas holding those nodes are still alive.

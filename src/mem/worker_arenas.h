@@ -16,6 +16,7 @@
 #ifndef MEMAGG_MEM_WORKER_ARENAS_H_
 #define MEMAGG_MEM_WORKER_ARENAS_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -28,12 +29,66 @@ namespace memagg {
 /// bump cursors never share a line.
 class WorkerArenas {
  public:
+  /// RAII quiescence marker: while any Lease is alive, some structure still
+  /// holds nodes allocated from this pool, so ResetAll() (and pool
+  /// destruction) would turn those nodes into dangling memory. Operators
+  /// that attach node allocators to the pool hold a Lease for their
+  /// lifetime; ResetAll() asserts the count is zero.
+  class Lease {
+   public:
+    Lease() = default;
+    explicit Lease(WorkerArenas* arenas) : arenas_(arenas) {
+      if (arenas_ != nullptr) {
+        arenas_->active_leases_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    Lease(Lease&& other) noexcept : arenas_(other.arenas_) {
+      other.arenas_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        arenas_ = other.arenas_;
+        other.arenas_ = nullptr;
+      }
+      return *this;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() { Release(); }
+
+    /// Drops the hold early (e.g. after the owning structure has been
+    /// torn down but before the handle itself goes out of scope).
+    void Release() {
+      if (arenas_ != nullptr) {
+        arenas_->active_leases_.fetch_sub(1, std::memory_order_relaxed);
+        arenas_ = nullptr;
+      }
+    }
+
+   private:
+    WorkerArenas* arenas_ = nullptr;
+  };
+
   explicit WorkerArenas(int num_workers) {
     MEMAGG_CHECK(num_workers >= 1);
     slots_.reserve(static_cast<size_t>(num_workers));
     for (int w = 0; w < num_workers; ++w) {
       slots_.push_back(std::make_unique<PaddedArena>());
     }
+  }
+
+  ~WorkerArenas() {
+    // A live lease here means some structure's nodes are about to dangle.
+    MEMAGG_CHECK(active_leases_.load(std::memory_order_acquire) == 0 &&
+                 "WorkerArenas destroyed while leases are active");
+  }
+
+  /// Registers a holder of pool-allocated nodes; see Lease.
+  Lease Acquire() { return Lease(this); }
+
+  int active_leases() const {
+    return active_leases_.load(std::memory_order_relaxed);
   }
 
   int num_workers() const { return static_cast<int>(slots_.size()); }
@@ -49,8 +104,11 @@ class WorkerArenas {
   }
 
   /// Wholesale release of every worker arena. Only between queries, and
-  /// only once no structure holds nodes allocated from the pool.
+  /// only once no structure holds nodes allocated from the pool — enforced
+  /// through the lease count.
   void ResetAll() {
+    MEMAGG_CHECK(active_leases_.load(std::memory_order_acquire) == 0 &&
+                 "WorkerArenas reset while leases are active");
     for (auto& slot : slots_) slot->arena.Reset();
   }
 
@@ -68,6 +126,7 @@ class WorkerArenas {
 
   // unique_ptr slots because Arena is intentionally immovable.
   std::vector<std::unique_ptr<PaddedArena>> slots_;
+  std::atomic<int> active_leases_{0};
 };
 
 }  // namespace memagg

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstring>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "exec/executor.h"
@@ -171,6 +172,33 @@ TEST(WorkerArenasTest, WorkersAllocateIsolatedUnderParallelFor) {
   // Wholesale reuse across queries: one Reset rewinds every worker arena.
   arenas.ResetAll();
   EXPECT_EQ(arenas.Stats().bytes_used, 0u);
+}
+
+TEST(WorkerArenasTest, LeaseCountsTrackHoldersAndMovesTransfer) {
+  WorkerArenas arenas(2);
+  EXPECT_EQ(arenas.active_leases(), 0);
+  {
+    WorkerArenas::Lease outer = arenas.Acquire();
+    EXPECT_EQ(arenas.active_leases(), 1);
+    WorkerArenas::Lease moved = std::move(outer);
+    EXPECT_EQ(arenas.active_leases(), 1);  // Transfer, not a second hold.
+    {
+      WorkerArenas::Lease inner = arenas.Acquire();
+      EXPECT_EQ(arenas.active_leases(), 2);
+    }
+    EXPECT_EQ(arenas.active_leases(), 1);
+    moved.Release();
+    EXPECT_EQ(arenas.active_leases(), 0);
+    arenas.ResetAll();  // Quiescent again: reset is allowed.
+  }
+}
+
+TEST(WorkerArenasDeathTest, ResetAllWithActiveLeaseAborts) {
+  WorkerArenas arenas(2);
+  const WorkerArenas::Lease lease = arenas.Acquire();
+  // Nodes allocated from the pool are still reachable through whoever holds
+  // the lease, so a wholesale rewind must trip the quiescence check.
+  EXPECT_DEATH(arenas.ResetAll(), "leases are active");
 }
 
 TEST(PoolAllocatorTest, DeletedNodesAreRecycled) {

@@ -110,6 +110,77 @@ TEST(PackedKeyCodecTest, WideSchemaFallsThrough) {
   EXPECT_FALSE(PackedKeyCodec::TryBuild(table, {"hi"}).has_value());
 }
 
+TEST(PackedKeyCodecTest, EveryLegalWidthRoundTripsItsEndpoints) {
+  // Exhaustive sweep of the packed budget: a single field of every width
+  // 1..63 must build, report exactly that width, and round-trip both domain
+  // endpoints with order preserved.
+  for (int w = 1; w <= 63; ++w) {
+    const uint64_t hi = (1ULL << w) - 1;
+    Table table;
+    table.AddColumn("k", Column::U64({0, hi}));
+    const auto codec = PackedKeyCodec::TryBuild(table, {"k"});
+    ASSERT_TRUE(codec.has_value()) << "width " << w;
+    EXPECT_EQ(codec->width_bits(), w) << "width " << w;
+    const std::vector<EncodedKey> keys = codec->EncodeAll();
+    EXPECT_LT(keys[0], keys[1]) << "width " << w;
+    EXPECT_EQ(codec->Decode(keys[0])[0].u64, 0u) << "width " << w;
+    EXPECT_EQ(codec->Decode(keys[1])[0].u64, hi) << "width " << w;
+  }
+}
+
+TEST(PackedKeyCodecTest, SixtyFourBitFieldRejectsToDict) {
+  // A field whose range needs 64 bits would collide with the
+  // open-addressing sentinels; exactly at the boundary the packed codec
+  // declines and the dictionary codec takes over.
+  Table table;
+  table.AddColumn("k", Column::U64({0, 1ULL << 63}));
+  EXPECT_FALSE(PackedKeyCodec::TryBuild(table, {"k"}).has_value());
+  const DictKeyCodec codec = DictKeyCodec::Build(table, {"k"});
+  EXPECT_EQ(codec.num_distinct(), 2u);
+  EXPECT_EQ(codec.Decode(codec.encoded()[1])[0].u64, 1ULL << 63);
+}
+
+TEST(PackedKeyCodecTest, SixtyFiveBitCompositeRejectsToDict) {
+  // 33 + 32 bits: each field alone packs, the composite does not.
+  Table table;
+  table.AddColumn("a", Column::U64({0, (1ULL << 33) - 1}));
+  table.AddColumn("b", Column::U64({0, (1ULL << 32) - 1}));
+  EXPECT_FALSE(PackedKeyCodec::TryBuild(table, {"a", "b"}).has_value());
+  const DictKeyCodec codec = DictKeyCodec::Build(table, {"a", "b"});
+  EXPECT_EQ(codec.num_distinct(), 2u);
+  const DecodedKey wide = codec.Decode(codec.encoded()[1]);
+  EXPECT_EQ(wide[0].u64, (1ULL << 33) - 1);
+  EXPECT_EQ(wide[1].u64, (1ULL << 32) - 1);
+}
+
+TEST(PackedKeyCodecTest, SignedExtremesUseFullDomain) {
+  // The order-preserving i64 mapping sends INT64_MIN to 0 and INT64_MAX to
+  // ~0ULL, so the full signed domain needs all 64 bits: packing declines
+  // and the dictionary codec round-trips the extremes.
+  Table table;
+  table.AddColumn("d", Column::I64({INT64_MIN, -1, 0, INT64_MAX}));
+  EXPECT_FALSE(PackedKeyCodec::TryBuild(table, {"d"}).has_value());
+  const DictKeyCodec codec = DictKeyCodec::Build(table, {"d"});
+  EXPECT_EQ(codec.num_distinct(), 4u);
+  EXPECT_EQ(codec.Decode(codec.encoded()[0])[0].i64, INT64_MIN);
+  EXPECT_EQ(codec.Decode(codec.encoded()[3])[0].i64, INT64_MAX);
+}
+
+TEST(PackedKeyCodecTest, SignedSubrangesAtExtremesPackNarrow) {
+  // Near-extreme but narrow signed ranges still pack: the bias soaks up
+  // the offset on both sides of the domain.
+  Table table;
+  table.AddColumn("lo", Column::I64({INT64_MIN, INT64_MIN + 6}));
+  table.AddColumn("hi", Column::I64({INT64_MAX - 9, INT64_MAX}));
+  const auto codec = PackedKeyCodec::TryBuild(table, {"lo", "hi"});
+  ASSERT_TRUE(codec.has_value());
+  EXPECT_TRUE(codec->order_preserving());
+  const std::vector<EncodedKey> keys = codec->EncodeAll();
+  EXPECT_LT(keys[0], keys[1]);
+  EXPECT_EQ(codec->Decode(keys[0])[0].i64, INT64_MIN);
+  EXPECT_EQ(codec->Decode(keys[1])[1].i64, INT64_MAX);
+}
+
 TEST(PackedKeyCodecTest, LeadingFieldRangeCoversContiguousKeys) {
   const Table table = TwoColumnTable();
   const auto codec = PackedKeyCodec::TryBuild(table, {"flag", "bucket"});

@@ -22,6 +22,7 @@ import glob
 import re
 from pathlib import Path
 
+import dataflow
 from model import (AcquireEdge, AggregatorConstruction, FileModel,
                    GUARD_CLASSES, MorselFlag, SKIP_FILES, STRIPE_GUARD,
                    canon_lock)
@@ -359,7 +360,9 @@ def extract_text(pretend_path, text, extra_args=()):
     _walk_tu(cindex, tu, states,
              lambda f: pretend_path if f == pretend_path else None)
     state = states.get(pretend_path, _FileState(pretend_path))
-    return state.to_model()
+    # Tier-6 facts come from the shared lexical extractor in both frontends
+    # (parity by construction): see dataflow.py.
+    return dataflow.extract_into(state.to_model(), text)
 
 
 def extract_repo(repo, build_dir, log=lambda msg: None):
@@ -417,4 +420,13 @@ def extract_repo(repo, build_dir, log=lambda msg: None):
                                          synthetic)])
         _walk_tu(cindex, tu, states, path_filter)
 
-    return [state.to_model() for _, state in sorted(states.items())]
+    models = []
+    for rel, state in sorted(states.items()):
+        file_model = state.to_model()
+        source = repo / rel
+        if source.is_file():
+            # Tier-6 facts: shared lexical extraction (see dataflow.py).
+            dataflow.extract_into(file_model,
+                                  source.read_text(encoding="utf-8"))
+        models.append(file_model)
+    return models

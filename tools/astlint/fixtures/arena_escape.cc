@@ -1,0 +1,83 @@
+// astlint fixture: planted arena-escape violations (Tier 6 dataflow).
+//
+// Five pointers derived from function-local arenas outlive the arena:
+// a direct return, a member store, a use after Reset(), a capture into an
+// unjoined scheduled task, and a return of a pointer obtained through a
+// helper (the returns-allocation call summary). MakeNode itself is clean:
+// it allocates from a caller-owned arena parameter, which only produces
+// the summary its call sites are judged by. Self-contained stubs so the
+// AST frontend can parse this standalone.
+
+namespace memagg {
+
+struct Arena {
+  template <typename T>
+  T* New() {
+    return nullptr;
+  }
+  void* AllocateBytes(unsigned long n) { return &n; }
+  void Reset() {}
+};
+
+struct TaskGroup {
+  template <typename F>
+  void Submit(F f) {
+    (void)f;
+  }
+  void Wait() {}
+};
+
+struct Node {
+  int value;
+};
+
+Node* MakeNode(Arena& arena) {
+  return arena.New<Node>();  // clean: caller owns the arena (summary only)
+}
+
+struct Cache {
+  Node* stash_ = nullptr;
+
+  Node* LeakReturn() {
+    Arena scratch;
+    Node* node = scratch.New<Node>();
+    return node;  // planted: returns a local-arena allocation
+  }
+
+  void LeakStore() {
+    Arena scratch;
+    Node* node = scratch.New<Node>();
+    stash_ = node;  // planted: member outlives the local arena
+  }
+
+  int UseAfterReset() {
+    Arena scratch;
+    Node* node = scratch.New<Node>();
+    node->value = 1;
+    scratch.Reset();
+    return node->value;  // planted: node points into reset memory
+  }
+
+  void LeakIntoTask() {
+    Arena scratch;
+    TaskGroup group;
+    Node* node = scratch.New<Node>();
+    group.Submit([node] { node->value = 2; });  // planted: unjoined task
+  }
+
+  void JoinedTask() {
+    Arena scratch;
+    TaskGroup group;
+    Node* node = scratch.New<Node>();
+    group.Submit([node] { node->value = 3; });  // clean: Wait() below
+    group.Wait();
+  }
+
+  Node* LeakViaHelper() {
+    Arena scratch;
+    Node* node = MakeNode(scratch);  // tainted via the call summary
+    return node;  // planted: same escape, one call deep
+  }
+};
+
+}  // namespace memagg

@@ -1,0 +1,55 @@
+// astlint fixture: clean Tier-6 dataflow shapes that must NOT fire.
+//
+// Exercises the non-escaping idioms: allocating from a caller-owned arena
+// parameter (summary only), using an allocation strictly within the arena's
+// lifetime, killing taint by reassigning after Reset(), returning a value
+// read through the pointer (a deref is a copy out, not an escape), and a
+// fan-out whose task group is joined before the frame unwinds.
+
+namespace memagg {
+
+struct Arena {
+  template <typename T>
+  T* New() {
+    return nullptr;
+  }
+  void Reset() {}
+};
+
+struct TaskGroup {
+  template <typename F>
+  void Submit(F f) {
+    (void)f;
+  }
+  void Wait() {}
+};
+
+struct Row {
+  int value;
+};
+
+Row* Borrow(Arena& arena) {
+  return arena.New<Row>();  // clean: caller owns the arena
+}
+
+int UseLocally() {
+  Arena scratch;
+  Row* row = scratch.New<Row>();
+  row->value = 5;
+  int result = row->value;
+  scratch.Reset();
+  row = scratch.New<Row>();  // reassignment kills the pre-Reset taint
+  return result + row->value;
+}
+
+int JoinedFanOut(int* data, int count) {
+  TaskGroup group;
+  int sum = 0;
+  group.Submit([&sum, data, count] {
+    for (int i = 0; i < count; i++) sum += data[i];
+  });
+  group.Wait();
+  return sum;
+}
+
+}  // namespace memagg

@@ -1,0 +1,19 @@
+// astlint fixture: fixed-point 2^53 cap for lineitem-path shifts (Tier 6).
+//
+// The pretend path src/data/lineitem_fixture.cc puts these shifts under the
+// fixed-point rule: decimal quantities are scaled into doubles, so any
+// integer magnitude produced here must stay exactly representable, i.e.
+// strictly below 2^54. `1LL << 53` is the cap itself and is clean;
+// `1LL << 54` exceeds it and is planted.
+
+namespace memagg {
+
+long long FixedPointCap() {
+  return 1LL << 53;  // clean: largest exactly representable power
+}
+
+long long FixedPointOverflow() {
+  return 1LL << 54;  // planted: exceeds the 2^53 double-exact range
+}
+
+}  // namespace memagg

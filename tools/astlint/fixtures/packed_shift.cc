@@ -1,0 +1,40 @@
+// astlint fixture: planted packed-shift width violations (Tier 6).
+//
+// The struct names PackedKeyCodec and DictKeyCodec put these shifts under
+// the planner's symbolic width facts (packed plan fields stay within 63
+// bits; dict composite widths may reach 128). Three shifts are planted:
+// a 32-bit literal shifted by 40, a 64-bit mask build whose symbolic
+// amount can reach 64, and a shift by a runtime amount no fact bounds.
+// The guarded mask (`plan.bits == 64 ? ... :`) shows the ternary-guard
+// refinement keeping the idiomatic branch clean.
+
+namespace memagg {
+
+using EncodedKey = unsigned long long;
+
+struct KeyFieldPlan {
+  int bits;
+};
+
+struct PackedKeyCodec {
+  EncodedKey Fold(EncodedKey key, const KeyFieldPlan& plan) {
+    key = (key << plan.bits) | 1u;       // clean: packed bits stay <= 63
+    EncodedKey hi = 1ULL << 63;          // clean: max legal u64 shift
+    EncodedKey bad = 1 << 40;            // planted: 32-bit operand
+    return key ^ hi ^ bad;
+  }
+};
+
+struct DictKeyCodec {
+  unsigned __int128 Fold(unsigned __int128 composite, const KeyFieldPlan& plan,
+                         int runtime_bits) {
+    composite = composite << plan.bits;  // clean: 128-bit operand
+    EncodedKey mask =
+        plan.bits == 64 ? ~0ULL : (1ULL << plan.bits) - 1;  // clean: guarded
+    EncodedKey probe = 1ULL << plan.bits;     // planted: bits can reach 64
+    EncodedKey loose = 1ULL << runtime_bits;  // planted: unbounded amount
+    return composite ^ mask ^ probe ^ loose;
+  }
+};
+
+}  // namespace memagg

@@ -1,0 +1,37 @@
+// astlint fixture: stale-waiver meta-rule (Tier 6).
+//
+// One waiver below names lock-order but sits over plain code with no lock
+// acquisition edge, so the waiver itself is the planted violation: the
+// condition it excused no longer exists and the waiver must be deleted.
+// Sanctioned() shows the opposite case — a live arena-escape waiver whose
+// underlying fact is still present, which both suppresses the finding and
+// keeps the waiver off the stale list.
+
+namespace memagg {
+
+struct Arena {
+  template <typename T>
+  T* New() {
+    return nullptr;
+  }
+};
+
+struct Slot {
+  int value;
+};
+
+int Renamed() {
+  // astlint:allow(lock-order): stale - the nested acquisition was removed
+  int total = 0;
+  for (int i = 0; i < 4; i++) total += i;
+  return total;
+}
+
+Slot* Sanctioned() {
+  Arena scratch;
+  Slot* slot = scratch.New<Slot>();
+  // astlint:allow(arena-escape): fixture - demonstrates a live waiver
+  return slot;
+}
+
+}  // namespace memagg

@@ -24,6 +24,7 @@ block, but a later blocking acquisition under them can.
 import re
 from pathlib import Path
 
+import dataflow
 from model import (AcquireEdge, AggregatorConstruction, FileModel,
                    GUARD_CLASSES, MorselFlag, STRIPE_GUARD, canon_lock)
 
@@ -254,10 +255,13 @@ def extract(path, text):
     stripped = strip_comments_and_strings(text)
     file_name = Path(path).name
     events, entry_held = collect_lock_events(stripped, file_name)
-    return FileModel(
+    file_model = FileModel(
         path=path,
         edges=replay_scopes(stripped, events, entry_held, path),
         morsel_flags=collect_morsel_flags(stripped, path),
         aggregator_constructions=collect_aggregator_constructions(
             stripped, path),
     )
+    # Tier-6 facts are extracted by shared lexical code in both frontends
+    # (like rank extraction): see dataflow.py.
+    return dataflow.extract_into(file_model, text)

@@ -100,12 +100,59 @@ class AggregatorConstruction:
     line: int
 
 
+@dataclass(frozen=True)
+class ArenaEscape:
+    """A pointer allocated from a function-local arena outliving it (Tier 6,
+    produced by dataflow.link)."""
+    kind: str      # return | store | task-capture | use-after-reset
+    pointer: str   # the escaping variable ("<temporary>" for bare returns)
+    arena: str     # the owning local arena variable
+    function: str
+    file: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class TaskCapture:
+    """A by-reference capture handed to an unjoined scheduled task, or an
+    unmet requires-join obligation at a call site (Tier 6)."""
+    variable: str  # "&local", "[&]", or the unjoined group at a call site
+    receiver: str  # normalized Submit/Schedule receiver chain
+    function: str
+    file: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class ShiftSite:
+    """One shift expression in the packed-key scope, with the symbolic
+    amount interval and inferred operand width (Tier 6)."""
+    op: str            # "<<" or ">>"
+    operand: str
+    operand_bits: int
+    amount: str
+    amount_min: int
+    amount_max: int    # dataflow.UNKNOWN when no width fact applies
+    ok: bool
+    file: str
+    line: int
+
+
 @dataclass
 class FileModel:
     path: str  # repo-relative (or pretend path, for fixtures)
     edges: list = field(default_factory=list)
     morsel_flags: list = field(default_factory=list)
     aggregator_constructions: list = field(default_factory=list)
+    # Tier-6 dataflow facts. `functions` (FuncModels) is filled per-file by
+    # dataflow.extract_into; the finding lists are filled repo-wide by
+    # dataflow.link once call summaries reach a fixpoint.
+    functions: list = field(default_factory=list)
+    arena_escapes: list = field(default_factory=list)
+    task_captures: list = field(default_factory=list)
+    shift_sites: list = field(default_factory=list)
 
 
 # --- Rank table --------------------------------------------------------------
@@ -197,7 +244,11 @@ RULE_LOCK_ORDER = "lock-order"
 RULE_BLOCKING = "blocking-in-morsel-body"
 RULE_STATS = "stats-in-morsel-body"
 RULE_FIXED_AGG = "fixed-aggregator-construction"
-ALL_RULES = (RULE_LOCK_ORDER, RULE_BLOCKING, RULE_STATS, RULE_FIXED_AGG)
+RULE_ARENA_ESCAPE = "arena-escape"
+RULE_TASK_CAPTURE = "morsel-capture"
+RULE_PACKED_SHIFT = "packed-shift"
+ALL_RULES = (RULE_LOCK_ORDER, RULE_BLOCKING, RULE_STATS, RULE_FIXED_AGG,
+             RULE_ARENA_ESCAPE, RULE_TASK_CAPTURE, RULE_PACKED_SHIFT)
 
 BLOCKING_KINDS = ("blocking-lock", "wait", "global-new", "io")
 
@@ -341,7 +392,63 @@ def check_fixed_aggregator(models, _ranks):
     return violations
 
 
-RULE_CHECKS = (check_lock_order, check_morsel_rules, check_fixed_aggregator)
+LINTED_PREFIXES = ("src/", "bench/", "examples/")
+
+
+def check_arena_escape(models, _ranks):
+    violations = []
+    for model in models:
+        if not model.path.startswith(LINTED_PREFIXES):
+            continue
+        for escape in model.arena_escapes:
+            violations.append(Violation(
+                escape.file, escape.line, RULE_ARENA_ESCAPE,
+                f"{escape.function}: {escape.detail} — the pointer outlives "
+                f"the arena's Reset()/destruction; allocate from a "
+                "caller-owned arena or copy out before the scope ends"))
+    return violations
+
+
+def check_task_capture(models, _ranks):
+    violations = []
+    for model in models:
+        if not model.path.startswith(LINTED_PREFIXES):
+            continue
+        for capture in model.task_captures:
+            violations.append(Violation(
+                capture.file, capture.line, RULE_TASK_CAPTURE,
+                f"{capture.function}: {capture.detail} — the task can "
+                "outlive the captured frame; join with Wait() before the "
+                "scope ends or capture by value"))
+    return violations
+
+
+def check_packed_shift(models, _ranks):
+    violations = []
+    for model in models:
+        if not model.path.startswith(LINTED_PREFIXES):
+            continue
+        for site in model.shift_sites:
+            if site.ok:
+                continue
+            if site.amount_max >= 10 ** 9:
+                reason = (f"no width fact bounds '{site.amount}' — shifting "
+                          f"a {site.operand_bits}-bit operand by an "
+                          "unbounded amount is UB at the operand width")
+            else:
+                reason = (f"amount '{site.amount}' can reach "
+                          f"{site.amount_max} on a {site.operand_bits}-bit "
+                          "operand — shifts of >= operand width are UB")
+            violations.append(Violation(
+                site.file, site.line, RULE_PACKED_SHIFT,
+                f"'{site.operand} {site.op} {site.amount}': {reason}; "
+                "narrow the plan (PackedKeyCodec::TryBuild caps totals "
+                "below kEncodedKeyBits) or guard the boundary value"))
+    return violations
+
+
+RULE_CHECKS = (check_lock_order, check_morsel_rules, check_fixed_aggregator,
+               check_arena_escape, check_task_capture, check_packed_shift)
 
 
 def run_rules(models, ranks):
@@ -366,4 +473,40 @@ def graph_json(models, ranks):
             for node, rank in sorted(nodes.items())
         ],
         "edges": sorted(edges, key=lambda e: (e["file"], e["line"])),
+    }, indent=2)
+
+
+def dataflow_json(models):
+    """The Tier-6 dataflow facts as a JSON string (the astlint_dataflow.json
+    CI artifact): every arena escape, task capture, and shift site — shift
+    sites including the *clean* ones, so the artifact records the full
+    audited set, not just failures."""
+    escapes, captures, shifts = [], [], []
+    functions = 0
+    for model in sorted(models, key=lambda m: m.path):
+        functions += len(model.functions)
+        for e in model.arena_escapes:
+            escapes.append({
+                "kind": e.kind, "pointer": e.pointer, "arena": e.arena,
+                "function": e.function, "file": e.file, "line": e.line,
+                "detail": e.detail})
+        for c in model.task_captures:
+            captures.append({
+                "variable": c.variable, "receiver": c.receiver,
+                "function": c.function, "file": c.file, "line": c.line,
+                "detail": c.detail})
+        for s in model.shift_sites:
+            shifts.append({
+                "op": s.op, "operand": s.operand,
+                "operand_bits": s.operand_bits, "amount": s.amount,
+                "amount_min": s.amount_min,
+                "amount_max": (None if s.amount_max >= 10 ** 9
+                               else s.amount_max),
+                "ok": s.ok, "file": s.file, "line": s.line})
+    return json.dumps({
+        "schema": "astlint-dataflow-v1",
+        "functions_analyzed": functions,
+        "arena_escapes": escapes,
+        "task_captures": captures,
+        "shift_sites": shifts,
     }, indent=2)

@@ -59,6 +59,13 @@ the repo-specific discipline that neither can express:
                        one-line. Derived names (key_count, keys) and other
                        uint64_t values are fine; legacy paper benches carry
                        waivers.
+  ref-capture-in-task  a lambda submitted to a task group or pool
+                       (`.Submit([&]...` / `.Schedule([&]...`) may not use a
+                       default by-reference capture: tasks outlive statements,
+                       so every captured local must be named (visible in the
+                       capture list, where astlint's morsel-capture dataflow
+                       rule checks it against a dominating Wait()) or taken
+                       by value.
   unconstrained-typename
                        headers under src/core/ may not declare bare
                        `template <typename X>` / `template <class X>`
@@ -307,6 +314,23 @@ def check_fixed_aggregator_construction(relpath, stripped):
         )
 
 
+REF_CAPTURE_TASK_RE = re.compile(
+    r"(?:\.|->)\s*(?:Submit|Schedule)\s*\(\s*\[\s*&\s*[,\]]"
+)
+
+
+def check_ref_capture_in_task(relpath, stripped):
+    del relpath
+    for match in REF_CAPTURE_TASK_RE.finditer(stripped):
+        yield (
+            line_of(stripped, match.start()),
+            "ref-capture-in-task",
+            "default [&] capture in a submitted task — name every captured "
+            "local (or capture by value) so the morsel-capture dataflow "
+            "rule can check each one against a dominating Wait()",
+        )
+
+
 RAW_SIMD_RE = re.compile(r"\b(?:_mm\d*_\w+|__m(?:128|256|512)\w*)\b")
 
 
@@ -440,6 +464,7 @@ RULES = (
     (LIBRARY_DIRS, check_unguarded_global),
     (LIBRARY_DIRS, check_include_guard),
     (LIBRARY_DIRS, check_raw_node_alloc),
+    (LIBRARY_DIRS, check_ref_capture_in_task),
     (ALL_DIRS, check_raw_simd_intrinsic),
     (LIBRARY_DIRS, check_raw_key_type),
     (LIBRARY_DIRS, check_unconstrained_typename),
@@ -560,6 +585,16 @@ FIXTURES = [
         "src/core/widget.cc",  # only node-based structure dirs are scanned
         "",
         "void f() { Node* n = new Node(); delete n; }\n",
+    ),
+    (
+        "ref-capture-in-task",
+        "src/core/widget.cc",
+        "void f(TaskGroup& group) {\n"
+        "  int n = 0; group.Submit([&] { n++; }); group.Wait(); }\n",
+        "void f(TaskGroup& group) {\n"
+        "  int n = 0; group.Submit([&n] { n++; }); group.Wait();\n"
+        "  group.Submit([n] { use(n); }); group.Wait();\n"
+        "  auto body = [&] { n++; }; body(); }\n",
     ),
     (
         "raw-simd-intrinsic",
